@@ -1,0 +1,86 @@
+"""Ablation A1: the TracSeq time-decay factor gamma.
+
+gamma = 1.0 recovers plain TracInCP; the paper argues gamma < 1 fits
+sequential financial data better.  We compute per-checkpoint gradient
+products once, recombine them for each gamma, train on the Top-50% of
+each ranking, and compare downstream KS on a latest-period test set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ZiGong
+from repro.influence import TracSeq, stratified_top_k
+from repro.data import timestamps_of
+from repro.eval import evaluate, format_table
+from repro.training import CheckpointManager
+
+from conftest import SEED, behavior_eval_samples, behavior_study_split, fast_zigong_config, save_result
+
+GAMMAS = (1.0, 0.9, 0.7, 0.5)
+
+
+@pytest.fixture(scope="module")
+def gamma_study(tmp_path_factory):
+    pool, val, test = behavior_study_split(n_users=120, n_periods=5, seed=SEED)
+
+    warm = ZiGong.from_examples(pool + val, config=fast_zigong_config(epochs=2))
+    ckpt_dir = tmp_path_factory.mktemp("gamma-ckpts")
+    warm.finetune(pool, checkpoint_dir=ckpt_dir)
+    checkpoints = CheckpointManager(ckpt_dir).checkpoints()
+
+    tracer = TracSeq(warm.model, checkpoints, gamma=0.9)
+    products = tracer.checkpoint_products(warm.tokenize(pool), warm.tokenize(val))
+    lrs = np.array([r.lr for r in tracer.checkpoints])
+    times = np.arange(len(tracer.checkpoints), dtype=np.float64)
+    horizon = times[-1]
+    sample_times = timestamps_of(pool)
+    sample_horizon = sample_times.max()
+
+    results = {}
+    for gamma in GAMMAS:
+        ckpt_weights = gamma ** (horizon - times)
+        scores = (ckpt_weights * lrs) @ products
+        scores = scores * gamma ** (sample_horizon - sample_times)
+        pool_labels = np.array([e.label for e in pool])
+        top = stratified_top_k(scores, pool_labels, len(pool) // 2)
+        train = [pool[i] for i in top]
+        model = ZiGong.from_examples(pool + val, config=fast_zigong_config(epochs=8))
+        model.finetune(train)
+        results[gamma] = evaluate(model.classifier(), behavior_eval_samples(test), "behavior")
+    return results
+
+
+def test_gamma_ablation_report(benchmark, gamma_study):
+    benchmark(lambda: sorted(gamma_study.items(), reverse=True))
+    rows = [
+        [gamma, r.accuracy, r.f1, r.ks]
+        for gamma, r in sorted(gamma_study.items(), reverse=True)
+    ]
+    save_result(
+        "ablation_gamma",
+        format_table(
+            ["Gamma", "Acc", "F1", "KS"],
+            rows,
+            title="Ablation A1: TracSeq time decay (gamma=1.0 is plain TracInCP)",
+        ),
+    )
+    assert len(gamma_study) == len(GAMMAS)
+
+
+def test_decayed_gamma_not_worse_than_tracin(benchmark, gamma_study):
+    """Some gamma < 1 must match or beat plain TracInCP (acc + F1)."""
+    benchmark(lambda: [r.accuracy for r in gamma_study.values()])
+    tracin = gamma_study[1.0].accuracy + gamma_study[1.0].f1
+    best_decayed = max(gamma_study[g].accuracy + gamma_study[g].f1 for g in GAMMAS if g < 1.0)
+    assert best_decayed >= tracin - 0.05, (
+        f"best decayed acc+f1 {best_decayed:.3f} vs TracInCP {tracin:.3f}"
+    )
+
+
+def test_all_gammas_produce_usable_models(benchmark, gamma_study):
+    benchmark(lambda: [r.miss for r in gamma_study.values()])
+    for gamma, result in gamma_study.items():
+        assert result.miss <= 0.2, f"gamma={gamma}: miss={result.miss}"

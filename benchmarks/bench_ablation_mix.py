@@ -1,0 +1,75 @@
+"""Ablation A2: the hybrid-mix ratio (paper: 70% random + 30% pruned).
+
+Holding the training budget at half the pool, sweep the share of
+high-influence samples in the mix from 0 (pure random) to 1 (pure
+Top-K) and measure downstream performance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DataPruner, PrunerConfig, ZiGong
+from repro.data import hybrid_mix
+from repro.eval import evaluate, format_table
+from repro.training import CheckpointManager
+
+from conftest import SEED, behavior_eval_samples, behavior_study_split, fast_zigong_config, save_result
+
+FRACTIONS = (0.0, 0.3, 0.7, 1.0)
+
+
+@pytest.fixture(scope="module")
+def mix_study(tmp_path_factory):
+    pool, val, test = behavior_study_split(n_users=120, n_periods=5, seed=SEED)
+
+    warm = ZiGong.from_examples(pool + val, config=fast_zigong_config(epochs=2))
+    ckpt_dir = tmp_path_factory.mktemp("mix-ckpts")
+    warm.finetune(pool, checkpoint_dir=ckpt_dir)
+    checkpoints = CheckpointManager(ckpt_dir).checkpoints()
+    scores = DataPruner(
+        PrunerConfig(strategy="tracseq", gamma=0.8, projection_dim=128)
+    ).score(warm, pool, val, checkpoints)
+
+    budget = len(pool) // 2
+    results = {}
+    for fraction in FRACTIONS:
+        pool_labels = [e.label for e in pool]
+        mixed = hybrid_mix(pool, scores, total=budget, pruned_fraction=fraction, seed=SEED,
+                           labels=pool_labels)
+        model = ZiGong.from_examples(pool + val, config=fast_zigong_config(epochs=8))
+        model.finetune(mixed)
+        results[fraction] = evaluate(model.classifier(), behavior_eval_samples(test), "behavior")
+    return results
+
+
+def test_mix_ablation_report(benchmark, mix_study):
+    benchmark(lambda: sorted(mix_study.items()))
+    rows = [[f, r.accuracy, r.f1, r.ks] for f, r in sorted(mix_study.items())]
+    save_result(
+        "ablation_mix",
+        format_table(
+            ["Pruned share", "Acc", "F1", "KS"],
+            rows,
+            title="Ablation A2: hybrid mix ratio at a fixed 50% budget "
+            "(paper uses 0.3)",
+        ),
+    )
+    assert len(mix_study) == len(FRACTIONS)
+
+
+def test_pruned_mix_not_worse_than_pure_random(benchmark, mix_study):
+    """Adding Top-K samples to the mix must not hurt (paper: it helps)."""
+    benchmark(lambda: [r.accuracy for r in mix_study.values()])
+    paper_mix = mix_study[0.3].accuracy + mix_study[0.3].f1
+    pure_random = mix_study[0.0].accuracy + mix_study[0.0].f1
+    assert paper_mix >= pure_random - 0.08, (
+        f"mix(0.3) acc+f1={paper_mix:.3f} vs random={pure_random:.3f}"
+    )
+
+
+def test_all_mixes_answer_in_format(benchmark, mix_study):
+    benchmark(lambda: [r.miss for r in mix_study.values()])
+    for fraction, result in mix_study.items():
+        assert result.miss <= 0.2, f"fraction={fraction}: miss={result.miss}"

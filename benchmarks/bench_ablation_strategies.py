@@ -1,0 +1,78 @@
+"""Ablation A4: pruning-strategy comparison.
+
+Compares every scoring strategy the library implements — TracSeq (the
+paper), plain TracInCP, the agent model, PPL (Li et al., 2023),
+the agent+TracSeq combination, and a random control — in the same
+70/30 hybrid-mix pipeline on sequential behavior data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DataPruner, PrunerConfig, ZiGong
+from repro.data import hybrid_mix
+from repro.eval import evaluate, format_table
+from repro.training import CheckpointManager
+
+from conftest import SEED, behavior_eval_samples, behavior_study_split, fast_zigong_config, save_result
+
+STRATEGIES = ("tracseq", "tracin", "agent", "ppl", "combined", "random")
+
+
+@pytest.fixture(scope="module")
+def strategy_study(tmp_path_factory):
+    pool, val, test = behavior_study_split(n_users=120, n_periods=5, seed=SEED)
+
+    warm = ZiGong.from_examples(pool + val, config=fast_zigong_config(epochs=2))
+    ckpt_dir = tmp_path_factory.mktemp("strat-ckpts")
+    warm.finetune(pool, checkpoint_dir=ckpt_dir)
+    checkpoints = CheckpointManager(ckpt_dir).checkpoints()
+
+    pool_labels = [e.label for e in pool]
+    budget = len(pool) // 2
+    results = {}
+    for strategy in STRATEGIES:
+        pruner = DataPruner(
+            PrunerConfig(strategy=strategy, gamma=0.8, projection_dim=128, seed=SEED)
+        )
+        scores = pruner.score(warm, pool, val, checkpoints)
+        mixed = hybrid_mix(
+            pool, scores, total=budget, pruned_fraction=0.3, seed=SEED, labels=pool_labels
+        )
+        model = ZiGong.from_examples(pool + val, config=fast_zigong_config(epochs=8))
+        model.finetune(mixed)
+        results[strategy] = evaluate(model.classifier(), behavior_eval_samples(test), "behavior")
+    return results
+
+
+def test_strategy_ablation_report(benchmark, strategy_study):
+    benchmark(lambda: sorted(strategy_study.items()))
+    rows = [
+        [name, r.accuracy, r.f1, r.miss, r.ks]
+        for name, r in strategy_study.items()
+    ]
+    save_result(
+        "ablation_strategies",
+        format_table(
+            ["Strategy", "Acc", "F1", "Miss", "KS"],
+            rows,
+            title="Ablation A4: pruning strategies in the 70/30 mix pipeline",
+        ),
+    )
+    assert len(strategy_study) == len(STRATEGIES)
+
+
+def test_all_strategies_produce_valid_models(benchmark, strategy_study):
+    benchmark(lambda: [r.miss for r in strategy_study.values()])
+    for name, result in strategy_study.items():
+        assert result.miss <= 0.2, f"{name}: miss={result.miss}"
+
+
+def test_tracseq_competitive_with_random(benchmark, strategy_study):
+    """The paper's method must not lose to the random control."""
+    benchmark(lambda: [r.accuracy for r in strategy_study.values()])
+    tracseq = strategy_study["tracseq"].accuracy + strategy_study["tracseq"].f1
+    random = strategy_study["random"].accuracy + strategy_study["random"].f1
+    assert tracseq >= random - 0.08, f"tracseq={tracseq:.3f} vs random={random:.3f}"

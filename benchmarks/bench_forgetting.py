@@ -1,0 +1,98 @@
+"""Extension experiment X1: catastrophic forgetting and replay.
+
+The paper's first contribution claims TracSeq-selected data "preserves
+long-term knowledge and reduces catastrophic forgetting".  This bench
+quantifies the phenomenon the claim addresses: accuracy on task A after
+sequential fine-tuning on task B, with increasing replay of A's data
+(the hybrid mix acting as the replay buffer).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import test_config as make_test_config
+from repro.core import ZiGong
+from repro.data import build_classification_examples
+from repro.datasets import make_audit, make_german
+from repro.eval import format_table, measure_forgetting
+
+from conftest import SEED, save_result
+
+REPLAY_FRACTIONS = (0.0, 0.25, 0.5)
+
+
+def _fresh(examples, epochs=8):
+    config = make_test_config(seed=SEED)
+    config = dataclasses.replace(
+        config, training=dataclasses.replace(config.training, epochs=epochs), base_lr=5e-3
+    )
+    return ZiGong.from_examples(examples, config=config)
+
+
+@pytest.fixture(scope="module")
+def forgetting_study():
+    german = make_german(n=240, seed=SEED)
+    g_train, g_test = german.split(test_fraction=0.25, seed=SEED)
+    audit = make_audit(n=240, seed=SEED)
+    a_train, a_test = audit.split(test_fraction=0.25, seed=SEED)
+    task_a_train = build_classification_examples(g_train)
+    task_a_test = build_classification_examples(g_test)
+    task_b_train = build_classification_examples(a_train)
+    task_b_test = build_classification_examples(a_test)
+    everything = task_a_train + task_a_test + task_b_train + task_b_test
+
+    results = {}
+    for fraction in REPLAY_FRACTIONS:
+        results[fraction] = measure_forgetting(
+            _fresh(everything),
+            task_a_train,
+            task_a_test,
+            task_b_train,
+            task_b_test,
+            replay_fraction=fraction,
+            seed=SEED,
+        )
+    return results
+
+
+def test_forgetting_report(benchmark, forgetting_study):
+    benchmark(lambda: sorted(forgetting_study.items()))
+    rows = [
+        [f, r.before_accuracy, r.after_accuracy, r.forgetting, r.task_b_accuracy]
+        for f, r in sorted(forgetting_study.items())
+    ]
+    save_result(
+        "forgetting",
+        format_table(
+            ["Replay", "A before", "A after", "Forgetting", "B acc"],
+            rows,
+            title="X1: catastrophic forgetting under sequential fine-tuning "
+            "(german -> audit), mitigated by replay",
+        ),
+    )
+    assert len(forgetting_study) == len(REPLAY_FRACTIONS)
+
+
+def test_sequential_training_forgets(benchmark, forgetting_study):
+    """Without replay, task-A accuracy must drop measurably."""
+    benchmark(lambda: forgetting_study[0.0].forgetting)
+    assert forgetting_study[0.0].forgetting > 0.0
+
+
+def test_replay_mitigates(benchmark, forgetting_study):
+    """More replay, less forgetting (monotone within tolerance)."""
+    benchmark(lambda: [r.forgetting for r in forgetting_study.values()])
+    plain = forgetting_study[0.0].forgetting
+    best = min(forgetting_study[f].forgetting for f in REPLAY_FRACTIONS if f > 0)
+    assert best <= plain + 1e-9, f"replay did not reduce forgetting: {best} vs {plain}"
+
+
+def test_task_b_still_learned(benchmark, forgetting_study):
+    benchmark(lambda: [r.task_b_accuracy for r in forgetting_study.values()])
+    for fraction, result in forgetting_study.items():
+        assert result.task_b_accuracy >= 0.6, (
+            f"replay={fraction}: task B acc {result.task_b_accuracy}"
+        )

@@ -1,0 +1,94 @@
+"""Behavior Card service demo — the paper's production deployment.
+
+Fine-tunes a model on behavior data, stands up the scoring service and
+pushes loan-decision traffic through it (with caching and audit logs).
+
+Run:  python examples/behavior_card_service.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import test_config
+from repro.core import ZiGong
+from repro.data import build_behavior_examples
+from repro.datasets import make_behavior
+from repro.data.templates import CLASSIFICATION_TEMPLATE as CLASSIFICATION_PROMPT
+from repro.serving import BehaviorCardService
+
+SEED = 0
+
+
+def main() -> None:
+    # Train the operational model on historical behavior data.
+    history_data = make_behavior(n_users=60, n_periods=4, seed=SEED)
+    examples = build_behavior_examples(history_data)
+    config = test_config(seed=SEED)
+    config = dataclasses.replace(
+        config, training=dataclasses.replace(config.training, epochs=8), base_lr=5e-3
+    )
+    zigong = ZiGong.from_examples(examples, config=config)
+    zigong.finetune(examples)
+    print(f"operational model trained on {len(examples)} behavior windows")
+
+    # Stand up the Behavior Card service.
+    service = BehaviorCardService(zigong.classifier(), threshold=0.5, cache_size=64)
+
+    # Incoming loan applications: score each user's latest behavior window.
+    fresh = make_behavior(n_users=10, n_periods=4, seed=SEED + 1)
+    last = fresh.n_periods - 1
+    print("\nincoming decisions:")
+    for user in range(fresh.n_users):
+        text = fresh.row_text(user, last)
+        decision = service.decide(f"user-{user:03d}", text)
+        verdict = "APPROVE" if decision.approved else "DECLINE"
+        print(f"  user-{user:03d}  P(default)={decision.score:.3f}  -> {verdict}")
+
+    # A repeat request for user 0 hits the cache.
+    repeat = service.decide("user-000", fresh.row_text(0, last))
+    print(f"\nrepeat request cached: {repeat.cached}")
+
+    stats = service.stats
+    print(f"requests={stats.requests}  approval_rate={stats.approval_rate:.2f}  "
+          f"cache_hit_rate={stats.cache_hit_rate:.2f}")
+
+    print("\nlast 3 audit entries:")
+    for entry in service.audit_log()[-3:]:
+        print(f"  {entry.timestamp:.0f}  {entry.user_id}  score={entry.score:.3f}  "
+              f"approved={entry.approved}")
+
+    # --- Production monitoring ----------------------------------------
+    from repro.serving import DriftMonitor, ShadowDeployment
+
+    # PSI drift monitor: reference = scores on the training-time cohort.
+    reference = [
+        service.decide(f"ref-{u}", history_data.row_text(u, last)).score
+        for u in range(history_data.n_users)
+    ]
+    monitor = DriftMonitor(reference, window=200)
+    drifted = make_behavior(n_users=40, n_periods=4, seed=SEED + 2,
+                            default_rate=0.55)  # a riskier cohort arrives
+    for user in range(drifted.n_users):
+        decision = service.decide(f"new-{user}", drifted.row_text(user, last))
+        monitor.observe(decision.score)
+    print(f"\ndrift monitor after risky cohort: PSI={monitor.psi():.3f} "
+          f"status={monitor.status()}")
+
+    # Shadow deployment: compare a candidate model on live traffic.
+    candidate = ZiGong.from_examples(examples, config=config)
+    candidate.finetune(examples[: len(examples) // 2])  # trained on less data
+    shadow = ShadowDeployment(zigong.classifier(), candidate.classifier())
+    for user in range(10):
+        prompt = CLASSIFICATION_PROMPT.format(
+            sentence=fresh.row_text(user, last),
+            question="will this user default on their loan",
+        )
+        shadow.score(prompt)
+    print(f"shadow deployment: agreement={shadow.agreement_rate():.2f} "
+          f"score correlation={shadow.score_correlation():.2f} "
+          f"disagreements={len(shadow.disagreements())}")
+
+
+if __name__ == "__main__":
+    main()

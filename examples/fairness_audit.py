@@ -1,0 +1,81 @@
+"""Fair-lending audit + scorecard scaling of a fitted credit model.
+
+The paper's related work calls out bias concerns in financial LLMs.
+This example fine-tunes ZiGong on synthetic German Credit, audits its
+approvals across an age split with the standard group-fairness metrics,
+and converts its probabilities into scorecard points (PDO scaling).
+
+Run:  python examples/fairness_audit.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.config import test_config
+from repro.core import ZiGong
+from repro.data import build_classification_examples
+from repro.datasets import make_german
+from repro.eval import fairness_report, format_table, make_eval_samples
+from repro.serving import ScorecardScaler
+
+SEED = 0
+
+
+def main() -> None:
+    dataset = make_german(n=400, seed=SEED)
+    train, test = dataset.split(test_fraction=0.3, seed=SEED)
+    examples = build_classification_examples(train)
+
+    config = test_config(seed=SEED)
+    config = dataclasses.replace(
+        config, training=dataclasses.replace(config.training, epochs=12), base_lr=5e-3
+    )
+    zigong = ZiGong.from_examples(examples, config=config)
+    zigong.finetune(examples)
+
+    samples = make_eval_samples(test)
+    predictions = zigong.classifier().predict_many(samples)
+    labels = [s.label for s in samples]
+    decisions = [0 if p.label is None else p.label for p in predictions]
+
+    # Protected attribute: young vs old applicants (age is column 8).
+    age = test.X[:, 8]
+    group = (age > np.median(age)).astype(int)  # 0 = younger, 1 = older
+    report = fairness_report(labels, decisions, group)
+
+    print(format_table(
+        ["Metric", "Value"],
+        [
+            ["approval rate (younger)", report.positive_rate_a],
+            ["approval rate (older)", report.positive_rate_b],
+            ["demographic parity diff", report.demographic_parity_difference],
+            ["equalized odds diff", report.equalized_odds_difference],
+            ["disparate impact ratio", report.disparate_impact_ratio],
+            ["passes four-fifths rule", str(report.passes_four_fifths())],
+        ],
+        title="Fair-lending audit (age split)",
+    ))
+
+    # Scorecard view: P(bad) -> points.  'good'=1, so P(default)=1-score.
+    scaler = ScorecardScaler()
+    print()
+    rows = []
+    for sample, pred in list(zip(samples, predictions))[:8]:
+        p_default = 1.0 - pred.score
+        points = scaler.score(p_default)
+        rows.append([
+            f"{p_default:.3f}", f"{points:.0f}", scaler.band(p_default),
+            "good" if sample.label else "bad",
+        ])
+    print(format_table(
+        ["P(default)", "Score", "Band", "True label"],
+        rows,
+        title="Scorecard scaling (base 660 @ 50:1 odds, PDO 40)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

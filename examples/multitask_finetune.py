@@ -1,0 +1,78 @@
+"""Multi-task supervised fine-tuning — the paper's training recipe.
+
+ZiGong is trained on several task families at once (credit scoring,
+fraud detection, sentiment analysis, financial auditing, QA).  This
+example jointly fine-tunes one model on three of them and evaluates
+each task separately, showing that a single instruction-tuned model
+serves them all.
+
+Run:  python examples/multitask_finetune.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import test_config
+from repro.core import ZiGong
+from repro.data import (
+    build_classification_examples,
+    build_sentiment_examples,
+)
+from repro.datasets import SENTIMENT_CLASSES, make_audit, make_german, make_sentiment
+from repro.eval import evaluate, evaluate_generative, format_table, make_eval_samples
+
+SEED = 0
+
+
+def main() -> None:
+    # Three task families, one instruction format.
+    german = make_german(n=300, seed=SEED)
+    german_train, german_test = german.split(test_fraction=0.2, seed=SEED)
+    audit = make_audit(n=300, seed=SEED)
+    audit_train, audit_test = audit.split(test_fraction=0.2, seed=SEED)
+    sentiment = make_sentiment(n=300, seed=SEED)
+    sent_train = build_sentiment_examples(sentiment)[:240]
+    sent_test_ds = make_sentiment(n=80, seed=SEED + 1)
+    sent_test = build_sentiment_examples(sent_test_ds)
+
+    train_examples = (
+        build_classification_examples(german_train)
+        + build_classification_examples(audit_train)
+        + sent_train
+    )
+    print(f"joint training set: {len(train_examples)} examples across 3 tasks")
+
+    config = test_config(seed=SEED)
+    config = dataclasses.replace(
+        config, training=dataclasses.replace(config.training, epochs=10), base_lr=5e-3
+    )
+    zigong = ZiGong.from_examples(train_examples + sent_test, config=config)
+    history = zigong.finetune(train_examples)
+    print(f"fine-tune loss: {history.losses[0]:.3f} -> {history.losses[-1]:.3f}")
+
+    # Discriminative tasks through the CALM harness.
+    rows = []
+    for name, test in (("german", german_test), ("financial_audit", audit_test)):
+        result = evaluate(zigong.classifier(), make_eval_samples(test), name)
+        rows.append([name, result.accuracy, result.f1, result.miss])
+
+    # Sentiment through the generative multi-choice harness.
+    sent_result = evaluate_generative(
+        zigong.generate_answer, sent_test, SENTIMENT_CLASSES
+    )
+    rows.append(["sentiment", sent_result.accuracy, None, sent_result.miss])
+
+    print()
+    print(format_table(
+        ["Task", "Acc", "F1", "Miss"],
+        rows,
+        title="One model, three tasks (multi-task SFT)",
+    ))
+    print()
+    print("per-sentiment-class accuracy:",
+          {k: round(v, 3) for k, v in sent_result.per_class_accuracy.items()})
+
+
+if __name__ == "__main__":
+    main()

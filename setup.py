@@ -1,0 +1,9 @@
+"""Setuptools shim so ``pip install -e .`` works without network access.
+
+(The offline environment lacks the ``wheel`` package needed for PEP 660
+editable installs, so pip falls back to the legacy path through this file.)
+"""
+
+from setuptools import setup
+
+setup()

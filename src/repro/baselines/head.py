@@ -1,0 +1,62 @@
+"""Classification-head model as a benchmark participant."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.instruct import InstructExample
+from repro.nn.classifier import SequenceClassifier
+from repro.nn.transformer import ModelConfig
+from repro.tokenizer.base import BaseTokenizer
+from repro.eval.harness import CreditModel, EvalSample, Prediction
+
+
+class HeadClassifierModel(CreditModel):
+    """A :class:`SequenceClassifier` behind the CreditModel protocol.
+
+    Unlike the generate-and-parse models it can never *miss* — the
+    trade-off the head-vs-generative ablation quantifies.
+    """
+
+    def __init__(
+        self,
+        classifier: SequenceClassifier,
+        tokenizer: BaseTokenizer,
+        threshold: float = 0.5,
+        name: str = "head",
+    ):
+        self.classifier = classifier
+        self.tokenizer = tokenizer
+        self.threshold = threshold
+        self.name = name
+
+    @classmethod
+    def fit(
+        cls,
+        examples: Sequence[InstructExample],
+        tokenizer: BaseTokenizer,
+        config: ModelConfig,
+        epochs: int = 5,
+        lr: float = 1e-3,
+        seed: int = 0,
+        name: str = "head",
+    ) -> "HeadClassifierModel":
+        """Tokenize prompts and train a fresh classifier on their labels."""
+        classifier = SequenceClassifier(config, rng=seed)
+        sequences = [cls._encode(tokenizer, e.prompt, config.max_seq_len) for e in examples]
+        labels = [e.label for e in examples]
+        classifier.fit(sequences, labels, epochs=epochs, lr=lr, seed=seed,
+                       pad_id=tokenizer.pad_id)
+        return cls(classifier, tokenizer, name=name)
+
+    @staticmethod
+    def _encode(tokenizer: BaseTokenizer, prompt: str, max_len: int) -> list[int]:
+        ids = [tokenizer.bos_id] + tokenizer.encode(prompt)
+        return ids[-max_len:]
+
+    def predict(self, sample: EvalSample) -> Prediction:
+        ids = self._encode(self.tokenizer, sample.prompt, self.classifier.config.max_seq_len)
+        proba = float(self.classifier.predict_proba(np.asarray(ids)[None, :])[0])
+        return Prediction(label=int(proba >= self.threshold), score=proba)

@@ -1,0 +1,53 @@
+"""Trivial baselines: majority class and seeded random guessing."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.eval.harness import CreditModel, EvalSample, Prediction
+
+
+class MajorityClassModel(CreditModel):
+    """Always answers the training majority class.
+
+    This is the floor any model must beat on imbalanced fraud data —
+    and the trap Table 2 shows several generic LLMs falling into.
+    """
+
+    name = "majority"
+
+    def __init__(self, train_labels: Sequence[int]):
+        labels = np.asarray(train_labels)
+        if labels.size == 0:
+            raise EvaluationError("MajorityClassModel needs training labels")
+        self.majority = int(labels.mean() >= 0.5)
+        self.base_rate = float(labels.mean())
+
+    def predict(self, sample: EvalSample) -> Prediction:
+        return Prediction(label=self.majority, score=self.base_rate)
+
+
+class RandomGuessModel(CreditModel):
+    """Uniform random answers, with an optional format-failure rate.
+
+    ``miss_prob`` simulates a model that sometimes produces unparseable
+    output (the FinMA failure mode in Table 2).
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0, positive_prob: float = 0.5, miss_prob: float = 0.0):
+        if not 0.0 <= positive_prob <= 1.0 or not 0.0 <= miss_prob <= 1.0:
+            raise EvaluationError("probabilities must be in [0, 1]")
+        self._rng = np.random.default_rng(seed)
+        self.positive_prob = positive_prob
+        self.miss_prob = miss_prob
+
+    def predict(self, sample: EvalSample) -> Prediction:
+        if self._rng.random() < self.miss_prob:
+            return Prediction(label=None, score=float(self._rng.random()))
+        label = int(self._rng.random() < self.positive_prob)
+        return Prediction(label=label, score=float(self._rng.random()))

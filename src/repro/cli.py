@@ -1,0 +1,209 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro datasets                         # list generators
+    python -m repro generate --dataset german --out d.jsonl
+    python -m repro train --data d.jsonl --out model/
+    python -m repro evaluate --model model/ --data test.jsonl
+    python -m repro pipeline --dataset german        # full prune+mix+tune
+    python -m repro table3                           # config table
+
+Everything is seeded; rerunning a command reproduces its output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from pathlib import Path
+
+from repro.config import bench_config, table3_rows, test_config
+from repro.core import PipelineConfig, PrunerConfig, ZiGong, ZiGongPipeline
+from repro.data import (
+    build_classification_examples,
+    load_jsonl,
+    save_jsonl,
+)
+from repro.datasets import available_datasets, load_dataset
+from repro.errors import ReproError
+from repro.eval import EvalSample, evaluate, format_table
+
+
+def _zigong_config(args) -> "object":
+    base = bench_config(seed=args.seed) if getattr(args, "preset", "test") == "bench" else test_config(seed=args.seed)
+    return dataclasses.replace(
+        base,
+        training=dataclasses.replace(base.training, epochs=args.epochs),
+        base_lr=args.lr,
+        min_lr=args.lr / 10,
+    )
+
+
+def _examples_to_samples(examples) -> list[EvalSample]:
+    answers = sorted({e.answer for e in examples})
+    if len(answers) != 2:
+        raise ReproError(
+            f"evaluate expects a binary task; found answers {answers}"
+        )
+    positives = {e.answer for e in examples if e.label == 1}
+    if len(positives) != 1:
+        raise ReproError("could not infer the positive answer text from labels")
+    positive = positives.pop()
+    negative = next(a for a in answers if a != positive)
+    return [
+        EvalSample(prompt=e.prompt, label=e.label, positive_text=positive, negative_text=negative)
+        for e in examples
+    ]
+
+
+def cmd_datasets(args) -> int:
+    for name in available_datasets():
+        print(name)
+    return 0
+
+
+def cmd_generate(args) -> int:
+    dataset = load_dataset(args.dataset, n=args.n, seed=args.seed)
+    if args.split is not None:
+        train, test = dataset.split(test_fraction=args.split, seed=args.seed)
+        out = Path(args.out)
+        n_train = save_jsonl(build_classification_examples(train), out)
+        test_path = out.with_name(out.stem + ".test" + out.suffix)
+        n_test = save_jsonl(build_classification_examples(test), test_path)
+        print(f"wrote {n_train} train examples to {out}")
+        print(f"wrote {n_test} test examples to {test_path}")
+    else:
+        count = save_jsonl(build_classification_examples(dataset), args.out)
+        print(f"wrote {count} examples to {args.out}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    examples = load_jsonl(args.data)
+    zigong = ZiGong.from_examples(examples, config=_zigong_config(args))
+    history = zigong.finetune(
+        examples,
+        checkpoint_dir=args.checkpoint_dir,
+        use_lora=not args.no_lora,
+    )
+    zigong.save(args.out)
+    print(
+        f"trained on {len(examples)} examples: loss {history.losses[0]:.3f} -> "
+        f"{history.losses[-1]:.3f}; model saved to {args.out}"
+    )
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    zigong = ZiGong.load(args.model)
+    examples = load_jsonl(args.data)
+    samples = _examples_to_samples(examples)
+    result = evaluate(zigong.classifier(), samples, dataset_name=Path(args.data).stem)
+    print(format_table(
+        ["Dataset", "N", "Acc", "F1", "Miss", "KS", "AUC"],
+        [[result.dataset, result.n, result.accuracy, result.f1, result.miss, result.ks, result.auc]],
+    ))
+    return 0
+
+
+def cmd_pipeline(args) -> int:
+    dataset = load_dataset(args.dataset, n=args.n, seed=args.seed)
+    train, test = dataset.split(test_fraction=0.2, seed=args.seed)
+    examples = build_classification_examples(train)
+    split = int(0.9 * len(examples))
+    pipeline = ZiGongPipeline(
+        PipelineConfig(
+            zigong=_zigong_config(args),
+            pruner=PrunerConfig(strategy=args.strategy, gamma=args.gamma, seed=args.seed),
+            pruned_fraction=args.pruned_fraction,
+            seed=args.seed,
+        )
+    )
+    result = pipeline.run(examples[:split], examples[split:])
+    from repro.eval import make_eval_samples
+
+    eval_result = evaluate(
+        result.zigong.classifier(), make_eval_samples(test), dataset_name=args.dataset
+    )
+    print(format_table(
+        ["Dataset", "Strategy", "Acc", "F1", "Miss", "KS"],
+        [[args.dataset, args.strategy, eval_result.accuracy, eval_result.f1,
+          eval_result.miss, eval_result.ks]],
+        title="Pipeline result",
+    ))
+    if args.out:
+        result.zigong.save(args.out)
+        print(f"model saved to {args.out}")
+    return 0
+
+
+def cmd_table3(args) -> int:
+    print(format_table(
+        ["Category", "Parameter", "Paper (Mistral 7B)", "This reproduction"],
+        table3_rows(bench_config()),
+        title="Table 3: ZiGong configuration",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list available dataset generators").set_defaults(fn=cmd_datasets)
+
+    p = sub.add_parser("generate", help="generate instruction data as jsonl")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--n", type=int, default=400)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--split", type=float, default=None, help="also write a test split")
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("train", help="fine-tune ZiGong on a jsonl file")
+    p.add_argument("--data", required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--lr", type=float, default=5e-3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--preset", choices=("test", "bench"), default="test")
+    p.add_argument("--checkpoint-dir", default=None)
+    p.add_argument("--no-lora", action="store_true", help="full-parameter fine-tune")
+    p.set_defaults(fn=cmd_train)
+
+    p = sub.add_parser("evaluate", help="evaluate a saved model on a jsonl file")
+    p.add_argument("--model", required=True)
+    p.add_argument("--data", required=True)
+    p.set_defaults(fn=cmd_evaluate)
+
+    p = sub.add_parser("pipeline", help="run the full prune + mix + fine-tune pipeline")
+    p.add_argument("--dataset", default="german")
+    p.add_argument("--n", type=int, default=400)
+    p.add_argument("--strategy", default="tracseq")
+    p.add_argument("--gamma", type=float, default=0.9)
+    p.add_argument("--pruned-fraction", type=float, default=0.3)
+    p.add_argument("--epochs", type=int, default=8)
+    p.add_argument("--lr", type=float, default=5e-3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--preset", choices=("test", "bench"), default="test")
+    p.add_argument("--out", default=None)
+    p.set_defaults(fn=cmd_pipeline)
+
+    sub.add_parser("table3", help="print the configuration table").set_defaults(fn=cmd_table3)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

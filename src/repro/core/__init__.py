@@ -1,0 +1,15 @@
+"""ZiGong core: the model API, data pruning and the full pipeline."""
+
+from repro.core.pipeline import PipelineConfig, PipelineResult, ZiGongPipeline
+from repro.core.pruning import STRATEGIES, DataPruner, PrunerConfig
+from repro.core.zigong import ZiGong
+
+__all__ = [
+    "ZiGong",
+    "DataPruner",
+    "PrunerConfig",
+    "STRATEGIES",
+    "ZiGongPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+]

@@ -1,0 +1,58 @@
+"""JSONL persistence for instruction data."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import DataError
+from repro.data.instruct import InstructExample
+
+
+def save_jsonl(examples: Iterable[InstructExample], path: str | Path) -> int:
+    """Write examples to ``path`` as one JSON object per line; returns count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for example in examples:
+            record = {
+                "prompt": example.prompt,
+                "answer": example.answer,
+                "label": example.label,
+                "timestamp": example.timestamp,
+                "meta": example.meta,
+            }
+            handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: str | Path) -> list[InstructExample]:
+    """Read instruction examples written by :func:`save_jsonl`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"no such file: {path}")
+    examples = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DataError(f"{path}:{line_no}: invalid JSON: {exc}") from exc
+            try:
+                examples.append(
+                    InstructExample(
+                        prompt=record["prompt"],
+                        answer=record["answer"],
+                        label=int(record["label"]),
+                        timestamp=float(record.get("timestamp", 0.0)),
+                        meta=record.get("meta", {}),
+                    )
+                )
+            except KeyError as exc:
+                raise DataError(f"{path}:{line_no}: missing field {exc}") from exc
+    return examples

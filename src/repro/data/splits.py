@@ -1,0 +1,95 @@
+"""Split helpers for instruction datasets.
+
+Temporal data must be split by *time* (train on the past, test on the
+future) and user-level data by *group* (no user in both splits) —
+random row splits leak.  These helpers centralize the patterns the
+benchmarks use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.data.instruct import InstructExample
+
+T = TypeVar("T", bound=InstructExample)
+
+
+def split_by_time(
+    examples: Sequence[T],
+    cutoff: float,
+) -> tuple[list[T], list[T]]:
+    """(past, future): examples with ``timestamp < cutoff`` vs the rest."""
+    if not examples:
+        raise DataError("split_by_time() received no examples")
+    past = [e for e in examples if e.timestamp < cutoff]
+    future = [e for e in examples if e.timestamp >= cutoff]
+    if not past or not future:
+        raise DataError(
+            f"cutoff {cutoff} puts all examples on one side "
+            f"(past={len(past)}, future={len(future)})"
+        )
+    return past, future
+
+
+def split_by_group(
+    examples: Sequence[T],
+    group_of: Callable[[T], object],
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> tuple[list[T], list[T]]:
+    """Split so that no group appears in both halves.
+
+    ``group_of`` extracts the grouping key (e.g.
+    ``lambda e: e.meta["user"]``).  Whole groups are assigned to the test
+    side until it holds at least ``test_fraction`` of the examples.
+    """
+    if not examples:
+        raise DataError("split_by_group() received no examples")
+    if not 0.0 < test_fraction < 1.0:
+        raise DataError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    groups = list(dict.fromkeys(group_of(e) for e in examples))
+    if len(groups) < 2:
+        raise DataError("need at least two groups to split")
+    rng = np.random.default_rng(seed)
+    order = list(rng.permutation(len(groups)))
+    target = test_fraction * len(examples)
+    test_groups: set = set()
+    count = 0
+    for index in order:
+        if count >= target:
+            break
+        group = groups[index]
+        test_groups.add(group)
+        count += sum(1 for e in examples if group_of(e) == group)
+    if len(test_groups) == len(groups):
+        test_groups.discard(groups[order[0]])
+    train = [e for e in examples if group_of(e) not in test_groups]
+    test = [e for e in examples if group_of(e) in test_groups]
+    return train, test
+
+
+def stratified_split(
+    examples: Sequence[T],
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> tuple[list[T], list[T]]:
+    """Label-stratified random split (both halves keep the class mix)."""
+    if not examples:
+        raise DataError("stratified_split() received no examples")
+    if not 0.0 < test_fraction < 1.0:
+        raise DataError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    test_idx: set[int] = set()
+    labels = {e.label for e in examples}
+    for label in labels:
+        members = [i for i, e in enumerate(examples) if e.label == label]
+        rng.shuffle(members)
+        n_test = max(1, int(round(test_fraction * len(members))))
+        test_idx.update(members[:n_test])
+    train = [e for i, e in enumerate(examples) if i not in test_idx]
+    test = [e for i, e in enumerate(examples) if i in test_idx]
+    return train, test

@@ -1,0 +1,35 @@
+"""Synthetic financial-credit datasets (CALM benchmark shapes + behavior data)."""
+
+from repro.datasets.audit import make_audit
+from repro.datasets.australia import make_australia
+from repro.datasets.base import FeatureSpec, TabularDataset
+from repro.datasets.behavior import BehaviorDataset, make_behavior
+from repro.datasets.ccfraud import make_ccfraud
+from repro.datasets.creditcard import make_creditcard
+from repro.datasets.german import make_german
+from repro.datasets.income import INCOME_BRACKETS, IncomeDataset, make_income
+from repro.datasets.registry import CALM_DATASETS, available_datasets, load_dataset
+from repro.datasets.sentiment import SENTIMENT_CLASSES, SentimentDataset, make_sentiment
+from repro.datasets.travel import make_travel
+
+__all__ = [
+    "FeatureSpec",
+    "TabularDataset",
+    "make_german",
+    "make_australia",
+    "make_creditcard",
+    "make_ccfraud",
+    "make_travel",
+    "make_audit",
+    "make_sentiment",
+    "SentimentDataset",
+    "SENTIMENT_CLASSES",
+    "BehaviorDataset",
+    "make_behavior",
+    "IncomeDataset",
+    "make_income",
+    "INCOME_BRACKETS",
+    "CALM_DATASETS",
+    "available_datasets",
+    "load_dataset",
+]

@@ -1,0 +1,65 @@
+"""Synthetic financial-auditing data (Figure 1's Financial Auditing task).
+
+Transaction records where a subset is *irregular* and should be
+escalated to audit.  Irregularity drivers follow the classic audit
+red flags: inflated amounts versus the vendor's history, round-number
+bias, weekend posting, missing approval, and duplicate invoices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import FeatureSpec, TabularDataset, threshold_for_rate
+
+_CATEGORIES = ("supplies", "travel", "consulting", "it_services", "marketing", "maintenance")
+
+_FEATURES = [
+    FeatureSpec("category", "categorical", _CATEGORIES),
+    FeatureSpec("amount", "numeric"),
+    FeatureSpec("amount_vs_vendor_avg", "numeric"),
+    FeatureSpec("round_amount", "categorical", ("no", "yes")),
+    FeatureSpec("weekend_posting", "categorical", ("no", "yes")),
+    FeatureSpec("has_approval", "categorical", ("no", "yes")),
+    FeatureSpec("duplicate_invoice", "categorical", ("no", "yes")),
+    FeatureSpec("days_to_payment", "numeric"),
+]
+
+
+def make_audit(n: int = 1200, seed: int = 8, irregular_rate: float = 0.12) -> TabularDataset:
+    """Generate the synthetic auditing dataset (``y == 1`` = escalate)."""
+    rng = np.random.default_rng(seed)
+    category = rng.integers(0, len(_CATEGORIES), n)
+    amount = np.clip(rng.lognormal(6.5, 1.1, n), 10, 200000)
+    ratio = np.clip(rng.lognormal(0.0, 0.6, n), 0.1, 20.0)  # vs vendor average
+    round_amount = (rng.random(n) < 0.18).astype(np.int64)
+    weekend = (rng.random(n) < 0.12).astype(np.int64)
+    approval = (rng.random(n) < 0.9).astype(np.int64)
+    duplicate = (rng.random(n) < 0.05).astype(np.int64)
+    days = np.clip(rng.normal(30, 12, n), 0, 120)
+
+    X = np.column_stack(
+        [category, amount, ratio, round_amount, weekend, approval, duplicate, days]
+    ).astype(np.float64)
+
+    score = (
+        1.1 * np.log(ratio)
+        + 0.9 * round_amount
+        + 0.8 * weekend
+        - 1.4 * approval
+        + 2.2 * duplicate
+        + 0.00001 * amount
+        + rng.normal(0.0, 0.6, n)
+    )
+    y = (score > threshold_for_rate(score, irregular_rate)).astype(np.int64)
+
+    return TabularDataset(
+        name="financial_audit",
+        task="financial_auditing",
+        features=_FEATURES,
+        X=X,
+        y=y,
+        question="does this transaction require audit escalation",
+        positive_text="yes",
+        negative_text="no",
+    )

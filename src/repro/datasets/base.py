@@ -1,0 +1,165 @@
+"""Tabular dataset container and verbalization shared by all generators.
+
+Each synthetic dataset carries both a numeric design matrix (consumed by
+the expert-system baselines) and a deterministic *verbalization* into
+``name=value`` tokens (consumed by the language models), mirroring how
+the paper serializes credit applications into prompts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DataError
+
+_BIN_LABELS = ("verylow", "low", "medium", "high", "veryhigh")
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Schema for one column.
+
+    ``kind`` is ``"numeric"`` (binned into quantiles when verbalized) or
+    ``"categorical"`` (values index into ``categories``).
+    """
+
+    name: str
+    kind: str = "numeric"
+    categories: tuple[str, ...] = ()
+    n_bins: int = 5
+
+    def __post_init__(self):
+        if self.kind not in ("numeric", "categorical"):
+            raise DataError(f"unknown feature kind {self.kind!r}")
+        if self.kind == "categorical" and not self.categories:
+            raise DataError(f"categorical feature {self.name!r} needs categories")
+        if self.kind == "numeric" and not 2 <= self.n_bins <= len(_BIN_LABELS):
+            raise DataError(f"n_bins must be in [2, {len(_BIN_LABELS)}]")
+
+
+@dataclass
+class TabularDataset:
+    """A generated dataset: numeric matrix + labels + verbalization rules.
+
+    ``task`` describes the downstream framing (credit_scoring,
+    fraud_detection, claim_analysis); ``question``, ``positive_text`` and
+    ``negative_text`` drive the Table-1 prompt template.
+    """
+
+    name: str
+    task: str
+    features: list[FeatureSpec]
+    X: np.ndarray
+    y: np.ndarray
+    question: str
+    positive_text: str = "yes"
+    negative_text: str = "no"
+    timestamps: np.ndarray | None = None
+    _bin_edges: dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        self.X = np.asarray(self.X, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.int64)
+        if self.X.ndim != 2:
+            raise DataError(f"X must be 2-D, got {self.X.shape}")
+        if self.X.shape[0] != self.y.shape[0]:
+            raise DataError(f"X rows {self.X.shape[0]} != y rows {self.y.shape[0]}")
+        if self.X.shape[1] != len(self.features):
+            raise DataError(
+                f"X has {self.X.shape[1]} columns but {len(self.features)} feature specs"
+            )
+        if not np.isin(self.y, (0, 1)).all():
+            raise DataError("labels must be binary 0/1")
+        if self.timestamps is not None and len(self.timestamps) != len(self.y):
+            raise DataError("timestamps length must match number of rows")
+        self._fit_bins()
+
+    def _fit_bins(self) -> None:
+        for j, spec in enumerate(self.features):
+            if spec.kind != "numeric":
+                continue
+            qs = np.linspace(0, 1, spec.n_bins + 1)[1:-1]
+            self._bin_edges[spec.name] = np.quantile(self.X[:, j], qs)
+
+    def __len__(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def positive_rate(self) -> float:
+        return float(self.y.mean())
+
+    # ------------------------------------------------------------------
+    # Verbalization
+    # ------------------------------------------------------------------
+
+    def verbalize_value(self, column: int, value: float) -> str:
+        spec = self.features[column]
+        if spec.kind == "categorical":
+            index = int(value)
+            if not 0 <= index < len(spec.categories):
+                raise DataError(
+                    f"category index {index} out of range for {spec.name!r}"
+                )
+            return spec.categories[index]
+        edges = self._bin_edges[spec.name]
+        bin_index = int(np.searchsorted(edges, value, side="right"))
+        return _BIN_LABELS[bin_index] if spec.n_bins == 5 else f"q{bin_index}"
+
+    def row_text(self, index: int) -> str:
+        """Serialize row ``index`` as space-separated ``name=value`` tokens."""
+        parts = [
+            f"{spec.name}={self.verbalize_value(j, self.X[index, j])}"
+            for j, spec in enumerate(self.features)
+        ]
+        return " ".join(parts)
+
+    def label_text(self, index: int) -> str:
+        return self.positive_text if self.y[index] == 1 else self.negative_text
+
+    # ------------------------------------------------------------------
+    # Splitting
+    # ------------------------------------------------------------------
+
+    def split(self, test_fraction: float = 0.2, seed: int = 0) -> tuple["TabularDataset", "TabularDataset"]:
+        """Stratified train/test split preserving bin edges.
+
+        Both halves keep the *full-data* bin edges so train and test
+        verbalize identically.
+        """
+        if not 0.0 < test_fraction < 1.0:
+            raise DataError(f"test_fraction must be in (0, 1), got {test_fraction}")
+        rng = np.random.default_rng(seed)
+        test_mask = np.zeros(len(self), dtype=bool)
+        for label in (0, 1):
+            idx = np.flatnonzero(self.y == label)
+            rng.shuffle(idx)
+            n_test = max(1, int(round(test_fraction * idx.size))) if idx.size else 0
+            test_mask[idx[:n_test]] = True
+        train = self._subset(~test_mask)
+        test = self._subset(test_mask)
+        return train, test
+
+    def _subset(self, mask: np.ndarray) -> "TabularDataset":
+        sub = TabularDataset(
+            name=self.name,
+            task=self.task,
+            features=self.features,
+            X=self.X[mask],
+            y=self.y[mask],
+            question=self.question,
+            positive_text=self.positive_text,
+            negative_text=self.negative_text,
+            timestamps=None if self.timestamps is None else self.timestamps[mask],
+        )
+        # Share the parent's bin edges for consistent verbalization.
+        sub._bin_edges = dict(self._bin_edges)
+        return sub
+
+
+def threshold_for_rate(scores: np.ndarray, positive_rate: float) -> float:
+    """Threshold such that ``mean(scores > threshold) ~= positive_rate``."""
+    if not 0.0 < positive_rate < 1.0:
+        raise DataError(f"positive_rate must be in (0, 1), got {positive_rate}")
+    return float(np.quantile(scores, 1.0 - positive_rate))

@@ -1,0 +1,63 @@
+"""Synthetic ccFraud dataset.
+
+The real ccFraud data (used by CALM) is customer-level: gender, state,
+number of cards, balance, transaction counts, international transaction
+counts and credit line, with ~6% fraud.  Fraud here concentrates in the
+high-balance / high-international-activity region, which is the signal
+the real models key on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import FeatureSpec, TabularDataset, threshold_for_rate
+
+_STATES = ("ca", "ny", "tx", "fl", "il", "wa", "ga", "nj")
+
+_FEATURES = [
+    FeatureSpec("gender", "categorical", ("male", "female")),
+    FeatureSpec("state", "categorical", _STATES),
+    FeatureSpec("cards", "numeric"),
+    FeatureSpec("balance", "numeric"),
+    FeatureSpec("num_trans", "numeric"),
+    FeatureSpec("num_intl_trans", "numeric"),
+    FeatureSpec("credit_line", "numeric"),
+]
+
+
+def make_ccfraud(n: int = 2000, seed: int = 3, fraud_rate: float = 0.06) -> TabularDataset:
+    """Generate the synthetic ccFraud dataset (``y == 1`` = fraud)."""
+    rng = np.random.default_rng(seed)
+    gender = rng.integers(0, 2, n)
+    state = rng.integers(0, len(_STATES), n)
+    cards = rng.integers(1, 5, n).astype(np.float64)
+    balance = np.clip(rng.lognormal(7.5, 1.3, n), 0, 40000)
+    num_trans = rng.poisson(29, n).astype(np.float64)
+    num_intl = rng.poisson(4, n).astype(np.float64)
+    credit_line = rng.integers(1, 75, n).astype(np.float64)
+
+    X = np.column_stack([gender, state, cards, balance, num_trans, num_intl, credit_line]).astype(
+        np.float64
+    )
+
+    score = (
+        0.00012 * balance
+        + 0.35 * num_intl
+        - 0.02 * num_trans
+        - 0.015 * credit_line
+        + 0.3 * cards
+        + rng.normal(0.0, 0.7, n)
+    )
+    y = (score > threshold_for_rate(score, fraud_rate)).astype(np.int64)
+
+    return TabularDataset(
+        name="ccfraud",
+        task="fraud_detection",
+        features=_FEATURES,
+        X=X,
+        y=y,
+        question="is this account showing fraudulent activity",
+        positive_text="yes",
+        negative_text="no",
+    )

@@ -1,0 +1,81 @@
+"""Synthetic German Credit dataset.
+
+Mirrors the schema of the UCI Statlog German Credit data used by CALM:
+checking-account status, loan duration, credit history, purpose, amount,
+savings, employment, age, housing, etc., with ~70% "good" outcomes.  The
+label-generating process weights the canonical risk drivers (checking
+status, duration, savings, credit history) so both expert systems and
+verbalized-prompt LLMs can learn it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import FeatureSpec, TabularDataset, threshold_for_rate
+
+_FEATURES = [
+    FeatureSpec("checking_status", "categorical", ("none", "negative", "low", "high")),
+    FeatureSpec("duration_months", "numeric"),
+    FeatureSpec("credit_history", "categorical", ("critical", "delayed", "existing_paid", "all_paid", "no_credits")),
+    FeatureSpec("purpose", "categorical", ("car", "furniture", "radio_tv", "education", "business", "repairs")),
+    FeatureSpec("credit_amount", "numeric"),
+    FeatureSpec("savings", "categorical", ("none", "little", "moderate", "rich", "quite_rich")),
+    FeatureSpec("employment_since", "categorical", ("unemployed", "under1y", "1to4y", "4to7y", "over7y")),
+    FeatureSpec("installment_rate", "numeric"),
+    FeatureSpec("age", "numeric"),
+    FeatureSpec("housing", "categorical", ("rent", "own", "free")),
+    FeatureSpec("existing_credits", "numeric"),
+    FeatureSpec("job", "categorical", ("unskilled", "skilled", "management", "self_employed")),
+]
+
+
+def make_german(n: int = 1000, seed: int = 0, positive_rate: float = 0.7) -> TabularDataset:
+    """Generate the synthetic German Credit dataset.
+
+    ``y == 1`` means a *good* credit risk (the majority class, as in the
+    real data); the prompt answer texts are ``good`` / ``bad``.
+    """
+    rng = np.random.default_rng(seed)
+    checking = rng.integers(0, 4, n)
+    duration = np.clip(rng.gamma(2.0, 10.0, n), 4, 72)
+    history = rng.integers(0, 5, n)
+    purpose = rng.integers(0, 6, n)
+    amount = np.clip(rng.lognormal(7.8, 0.9, n), 250, 20000)
+    savings = rng.integers(0, 5, n)
+    employment = rng.integers(0, 5, n)
+    installment = rng.integers(1, 5, n).astype(np.float64)
+    age = np.clip(rng.normal(36, 11, n), 19, 75)
+    housing = rng.integers(0, 3, n)
+    credits = rng.integers(1, 5, n).astype(np.float64)
+    job = rng.integers(0, 4, n)
+
+    X = np.column_stack(
+        [checking, duration, history, purpose, amount, savings, employment,
+         installment, age, housing, credits, job]
+    ).astype(np.float64)
+
+    score = (
+        0.9 * checking
+        - 0.06 * duration
+        + 0.45 * history
+        - 0.00012 * amount
+        + 0.55 * savings
+        + 0.35 * employment
+        - 0.25 * installment
+        + 0.02 * age
+        + 0.3 * (housing == 1)
+        + rng.normal(0.0, 0.8, n)
+    )
+    y = (score > threshold_for_rate(score, positive_rate)).astype(np.int64)
+
+    return TabularDataset(
+        name="german",
+        task="credit_scoring",
+        features=_FEATURES,
+        X=X,
+        y=y,
+        question="is the credit risk of this applicant good",
+        positive_text="good",
+        negative_text="bad",
+    )

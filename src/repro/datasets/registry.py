@@ -1,0 +1,39 @@
+"""Registry mapping dataset names to generator factories."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import DataError
+from repro.datasets.australia import make_australia
+from repro.datasets.base import TabularDataset
+from repro.datasets.ccfraud import make_ccfraud
+from repro.datasets.creditcard import make_creditcard
+from repro.datasets.audit import make_audit
+from repro.datasets.german import make_german
+from repro.datasets.travel import make_travel
+
+# The five CALM benchmark datasets reproduced in Table 2, in paper order.
+CALM_DATASETS = ("german", "australia", "creditcard_fraud", "ccfraud", "travel_insurance")
+
+_FACTORIES: dict[str, Callable[..., TabularDataset]] = {
+    "german": make_german,
+    "australia": make_australia,
+    "creditcard_fraud": make_creditcard,
+    "ccfraud": make_ccfraud,
+    "travel_insurance": make_travel,
+    "financial_audit": make_audit,
+}
+
+
+def available_datasets() -> list[str]:
+    """Names of the registered tabular datasets."""
+    return sorted(_FACTORIES)
+
+
+def load_dataset(name: str, **kwargs) -> TabularDataset:
+    """Instantiate a registered dataset by name."""
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise DataError(f"unknown dataset {name!r}; available: {available_datasets()}")
+    return factory(**kwargs)

@@ -1,0 +1,69 @@
+"""Synthetic Travel Insurance claim-analysis dataset.
+
+The real travel-insurance data (used by CALM for Claim Analysis) records
+agency, distribution channel, product, trip duration, destination, sales
+and commission amounts and customer age, with a rare "claim" outcome.
+The default claim rate is raised to 15% to keep test splits informative
+at laptop scale (pass ``claim_rate=0.015`` for the realistic extreme).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import FeatureSpec, TabularDataset, threshold_for_rate
+
+_AGENCIES = ("cbh", "cwt", "jzi", "kml", "epx")
+_PRODUCTS = ("basic", "bronze", "silver", "gold", "annual", "cancellation")
+_DESTINATIONS = ("singapore", "malaysia", "thailand", "china", "australia", "japan", "usa", "uk")
+
+_FEATURES = [
+    FeatureSpec("agency", "categorical", _AGENCIES),
+    FeatureSpec("agency_type", "categorical", ("airlines", "travel_agency")),
+    FeatureSpec("channel", "categorical", ("online", "offline")),
+    FeatureSpec("product", "categorical", _PRODUCTS),
+    FeatureSpec("duration_days", "numeric"),
+    FeatureSpec("destination", "categorical", _DESTINATIONS),
+    FeatureSpec("net_sales", "numeric"),
+    FeatureSpec("commission", "numeric"),
+    FeatureSpec("age", "numeric"),
+]
+
+
+def make_travel(n: int = 1500, seed: int = 4, claim_rate: float = 0.15) -> TabularDataset:
+    """Generate the synthetic Travel Insurance dataset (``y == 1`` = claim)."""
+    rng = np.random.default_rng(seed)
+    agency = rng.integers(0, len(_AGENCIES), n)
+    agency_type = rng.integers(0, 2, n)
+    channel = (rng.random(n) < 0.15).astype(np.int64)  # mostly online
+    product = rng.integers(0, len(_PRODUCTS), n)
+    duration = np.clip(rng.gamma(1.6, 30.0, n), 1, 540)
+    destination = rng.integers(0, len(_DESTINATIONS), n)
+    net_sales = np.clip(rng.lognormal(3.4, 0.9, n), 1, 800)
+    commission = net_sales * np.clip(rng.normal(0.25, 0.08, n), 0.0, 0.6)
+    age = np.clip(rng.normal(39, 13, n), 18, 85)
+
+    X = np.column_stack(
+        [agency, agency_type, channel, product, duration, destination, net_sales, commission, age]
+    ).astype(np.float64)
+
+    score = (
+        0.02 * duration
+        + 0.008 * net_sales
+        + 0.9 * (product >= 3)  # richer products claim more
+        + 0.5 * agency_type
+        + 0.02 * age
+        + rng.normal(0.0, 0.7, n)
+    )
+    y = (score > threshold_for_rate(score, claim_rate)).astype(np.int64)
+
+    return TabularDataset(
+        name="travel_insurance",
+        task="claim_analysis",
+        features=_FEATURES,
+        X=X,
+        y=y,
+        question="will this travel insurance policy result in a claim",
+        positive_text="yes",
+        negative_text="no",
+    )

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ShapeError(ReproError):
+    """An operation received tensors with incompatible shapes."""
+
+
+class GradientError(ReproError):
+    """Autograd failure: backward on a non-scalar, missing graph, etc."""
+
+
+class TokenizerError(ReproError):
+    """Tokenizer training or encoding failure."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be saved, loaded, or validated."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class DataError(ReproError):
+    """Dataset generation or instruction-data construction failure."""
+
+
+class InfluenceError(ReproError):
+    """Influence estimation (TracInCP / TracSeq) failure."""
+
+
+class EvaluationError(ReproError):
+    """Benchmark or metric computation failure."""
+
+
+class ServingError(ReproError):
+    """Behavior Card serving failure."""

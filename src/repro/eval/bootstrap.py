@@ -1,0 +1,76 @@
+"""Bootstrap confidence intervals for evaluation metrics.
+
+At laptop-scale test sets (tens to hundreds of samples) point metrics
+are noisy; benchmark claims should come with intervals.  The resampling
+is seeded and metric-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a percentile-bootstrap interval."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+
+def bootstrap_metric(
+    metric: Callable[[Sequence[int], Sequence], float],
+    y_true: Sequence[int],
+    y_pred: Sequence,
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile bootstrap of ``metric(y_true, y_pred)``.
+
+    Resamples (label, prediction) pairs with replacement.  Resamples on
+    which the metric is undefined (e.g. KS with a single class present)
+    are skipped; if fewer than half the resamples survive, an error is
+    raised rather than returning a misleading interval.
+    """
+    if len(y_true) != len(y_pred):
+        raise EvaluationError(f"{len(y_true)} labels but {len(y_pred)} predictions")
+    if len(y_true) == 0:
+        raise EvaluationError("empty inputs")
+    if not 0.0 < confidence < 1.0:
+        raise EvaluationError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples <= 0:
+        raise EvaluationError("n_resamples must be positive")
+
+    y_true = list(y_true)
+    y_pred = list(y_pred)
+    point = metric(y_true, y_pred)
+    rng = np.random.default_rng(seed)
+    values = []
+    for _ in range(n_resamples):
+        idx = rng.integers(0, len(y_true), size=len(y_true))
+        try:
+            values.append(metric([y_true[i] for i in idx], [y_pred[i] for i in idx]))
+        except EvaluationError:
+            continue
+    if len(values) < n_resamples / 2:
+        raise EvaluationError(
+            f"metric undefined on {n_resamples - len(values)}/{n_resamples} resamples"
+        )
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(values, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(point=float(point), low=float(low), high=float(high), confidence=confidence)

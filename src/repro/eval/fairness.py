@@ -1,0 +1,89 @@
+"""Group-fairness metrics for credit decisions.
+
+The paper's related-work section flags "biases inherent in training data
+that could affect financial decision-making" and calls for bias
+mitigation in deployed financial LLMs.  These are the three standard
+group metrics regulators and fair-lending reviews use:
+
+* **demographic parity difference** — gap in approval rates between the
+  two groups (0 is parity);
+* **equalized odds difference** — the larger of the TPR and FPR gaps;
+* **disparate impact ratio** — min over groups of approval-rate ratios;
+  the US "four-fifths rule" flags values below 0.8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Group metrics for a binary decision over a binary protected attribute."""
+
+    positive_rate_a: float
+    positive_rate_b: float
+    demographic_parity_difference: float
+    equalized_odds_difference: float
+    disparate_impact_ratio: float
+
+    def passes_four_fifths(self) -> bool:
+        """The classic disparate-impact screen (ratio >= 0.8)."""
+        return self.disparate_impact_ratio >= 0.8
+
+
+def _rates(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[float, float]:
+    """(TPR, FPR); NaN-free by construction (caller guarantees support)."""
+    pos = y_true == 1
+    neg = ~pos
+    tpr = float(y_pred[pos].mean()) if pos.any() else 0.0
+    fpr = float(y_pred[neg].mean()) if neg.any() else 0.0
+    return tpr, fpr
+
+
+def fairness_report(
+    y_true: Sequence[int],
+    y_pred: Sequence[int],
+    group: Sequence[int],
+) -> FairnessReport:
+    """Compute group-fairness metrics.
+
+    ``group`` is a binary protected attribute (0 = group A, 1 = group B);
+    ``y_pred`` is the model's decision (1 = approve / positive outcome).
+    Both groups must be present.
+    """
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    group = np.asarray(group, dtype=np.int64)
+    if not (y_true.shape == y_pred.shape == group.shape):
+        raise EvaluationError("y_true, y_pred and group must have the same shape")
+    if y_true.size == 0:
+        raise EvaluationError("empty inputs")
+    for name, arr in (("y_true", y_true), ("y_pred", y_pred), ("group", group)):
+        if not np.isin(arr, (0, 1)).all():
+            raise EvaluationError(f"{name} must be binary 0/1")
+    mask_a = group == 0
+    mask_b = group == 1
+    if not mask_a.any() or not mask_b.any():
+        raise EvaluationError("both protected groups must be present")
+
+    rate_a = float(y_pred[mask_a].mean())
+    rate_b = float(y_pred[mask_b].mean())
+    tpr_a, fpr_a = _rates(y_true[mask_a], y_pred[mask_a])
+    tpr_b, fpr_b = _rates(y_true[mask_b], y_pred[mask_b])
+
+    high = max(rate_a, rate_b)
+    ratio = 1.0 if high == 0 else min(rate_a, rate_b) / high
+
+    return FairnessReport(
+        positive_rate_a=rate_a,
+        positive_rate_b=rate_b,
+        demographic_parity_difference=abs(rate_a - rate_b),
+        equalized_odds_difference=max(abs(tpr_a - tpr_b), abs(fpr_a - fpr_b)),
+        disparate_impact_ratio=ratio,
+    )

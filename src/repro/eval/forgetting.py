@@ -1,0 +1,98 @@
+"""Catastrophic-forgetting measurement (the paper's motivation #2).
+
+The paper claims TracSeq-style data selection "preserves long-term
+knowledge and reduces catastrophic forgetting".  This module provides
+the standard sequential-fine-tuning probe:
+
+1. fine-tune on task A, evaluate on A        -> ``before``
+2. continue fine-tuning on task B (optionally replaying a fraction of
+   A's data into B's batches), evaluate on A -> ``after``
+3. ``forgetting = before − after`` (accuracy drop on A)
+
+The 70/30 hybrid mix acts as the replay mechanism: mixing retained
+high-influence A-samples into B's training counters the drop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.data.instruct import InstructExample
+from repro.eval.harness import EvalSample, evaluate
+
+
+@dataclass(frozen=True)
+class ForgettingResult:
+    """Accuracy on task A before/after fine-tuning on task B."""
+
+    before_accuracy: float
+    after_accuracy: float
+    task_b_accuracy: float
+    replay_fraction: float
+
+    @property
+    def forgetting(self) -> float:
+        """Accuracy drop on task A (positive = forgot)."""
+        return self.before_accuracy - self.after_accuracy
+
+
+def _to_samples(examples: Sequence[InstructExample]) -> list[EvalSample]:
+    answers = sorted({e.answer for e in examples})
+    if len(answers) != 2:
+        raise EvaluationError(f"binary task expected, found answers {answers}")
+    positive = {e.answer for e in examples if e.label == 1}
+    if len(positive) != 1:
+        raise EvaluationError("could not infer positive answer text")
+    pos = positive.pop()
+    neg = next(a for a in answers if a != pos)
+    return [
+        EvalSample(prompt=e.prompt, label=e.label, positive_text=pos, negative_text=neg)
+        for e in examples
+    ]
+
+
+def measure_forgetting(
+    zigong,
+    task_a_train: Sequence[InstructExample],
+    task_a_test: Sequence[InstructExample],
+    task_b_train: Sequence[InstructExample],
+    task_b_test: Sequence[InstructExample],
+    replay_fraction: float = 0.0,
+    seed: int = 0,
+) -> ForgettingResult:
+    """Sequentially fine-tune ``zigong`` on A then B, probing A's accuracy.
+
+    ``replay_fraction`` of task A's training set is mixed into the task-B
+    fine-tune (0 = plain sequential training, the worst case).  The model
+    is mutated in place; pass a fresh instance per measurement.
+    """
+    if not 0.0 <= replay_fraction <= 1.0:
+        raise EvaluationError(f"replay_fraction must be in [0, 1], got {replay_fraction}")
+    if not task_a_train or not task_b_train:
+        raise EvaluationError("both tasks need training data")
+
+    samples_a = _to_samples(task_a_test)
+    samples_b = _to_samples(task_b_test)
+
+    zigong.finetune(task_a_train)
+    before = evaluate(zigong.classifier(), samples_a, "task_a").accuracy
+
+    rng = np.random.default_rng(seed)
+    n_replay = int(round(replay_fraction * len(task_a_train)))
+    replay_idx = rng.choice(len(task_a_train), size=n_replay, replace=False) if n_replay else []
+    phase_b = list(task_b_train) + [task_a_train[i] for i in replay_idx]
+
+    zigong.finetune(phase_b)
+    after = evaluate(zigong.classifier(), samples_a, "task_a").accuracy
+    task_b = evaluate(zigong.classifier(), samples_b, "task_b").accuracy
+
+    return ForgettingResult(
+        before_accuracy=before,
+        after_accuracy=after,
+        task_b_accuracy=task_b,
+        replay_fraction=replay_fraction,
+    )

@@ -1,0 +1,144 @@
+"""Evaluation harness: model protocol, sample construction, metric rollup."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.datasets.base import TabularDataset
+from repro.data.templates import CLASSIFICATION_TEMPLATE
+from repro.eval.metrics import accuracy, ks_statistic, miss_rate, roc_auc, weighted_f1
+
+
+@dataclass(frozen=True)
+class EvalSample:
+    """One benchmark item: a prompt, its gold label, and raw features.
+
+    ``features`` lets expert-system baselines run on the same split the
+    LMs see; LM models use only ``prompt``.
+    """
+
+    prompt: str
+    label: int
+    positive_text: str
+    negative_text: str
+    features: np.ndarray | None = None
+    timestamp: float = 0.0
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A model's output for one sample.
+
+    ``label`` is None on a miss (unparseable generation); ``score`` is an
+    optional continuous P(positive)-like value used for KS / AUC.
+    """
+
+    label: int | None
+    score: float | None = None
+
+
+class CreditModel(abc.ABC):
+    """Anything that can answer benchmark prompts."""
+
+    name: str = "model"
+
+    @abc.abstractmethod
+    def predict(self, sample: EvalSample) -> Prediction:
+        """Predict one sample."""
+
+    def predict_many(self, samples: Sequence[EvalSample]) -> list[Prediction]:
+        return [self.predict(sample) for sample in samples]
+
+
+@dataclass
+class EvalResult:
+    """Metric rollup for one (model, dataset) pair."""
+
+    model: str
+    dataset: str
+    n: int
+    accuracy: float
+    f1: float
+    miss: float
+    ks: float | None = None
+    auc: float | None = None
+    extra: dict = field(default_factory=dict)
+
+    def as_row(self) -> dict:
+        return {
+            "model": self.model,
+            "dataset": self.dataset,
+            "n": self.n,
+            "acc": round(self.accuracy, 3),
+            "f1": round(self.f1, 3),
+            "miss": round(self.miss, 3),
+            "ks": None if self.ks is None else round(self.ks, 3),
+            "auc": None if self.auc is None else round(self.auc, 3),
+        }
+
+
+def make_eval_samples(dataset: TabularDataset) -> list[EvalSample]:
+    """Verbalize a tabular dataset into benchmark samples."""
+    samples = []
+    for i in range(len(dataset)):
+        prompt = CLASSIFICATION_TEMPLATE.format(
+            sentence=dataset.row_text(i), question=dataset.question
+        )
+        samples.append(
+            EvalSample(
+                prompt=prompt,
+                label=int(dataset.y[i]),
+                positive_text=dataset.positive_text,
+                negative_text=dataset.negative_text,
+                features=dataset.X[i],
+            )
+        )
+    return samples
+
+
+def evaluate(model: CreditModel, samples: Sequence[EvalSample], dataset_name: str = "") -> EvalResult:
+    """Run ``model`` over ``samples`` and compute the Table-2 metrics.
+
+    KS and AUC are reported only when the model emits scores for every
+    sample and both classes are present.
+    """
+    if not samples:
+        raise EvaluationError("evaluate() received no samples")
+    predictions = model.predict_many(samples)
+    labels = [s.label for s in samples]
+    pred_labels = [p.label for p in predictions]
+
+    ks = auc = None
+    extra: dict = {}
+    scores = [p.score for p in predictions]
+    if all(s is not None for s in scores):
+        if 0 < sum(labels) < len(labels):
+            ks = ks_statistic(labels, scores)
+            auc = roc_auc(labels, scores)
+        if all(0.0 <= s <= 1.0 for s in scores):
+            from repro.eval.calibration import (
+                brier_score,
+                expected_calibration_error,
+                hallucination_rate,
+            )
+
+            extra["brier"] = brier_score(labels, scores)
+            extra["ece"] = expected_calibration_error(labels, scores)
+            extra["hallucination"] = hallucination_rate(labels, pred_labels, scores)
+
+    return EvalResult(
+        model=model.name,
+        dataset=dataset_name,
+        n=len(samples),
+        accuracy=accuracy(labels, pred_labels),
+        f1=weighted_f1(labels, pred_labels),
+        miss=miss_rate(pred_labels),
+        ks=ks,
+        auc=auc,
+        extra=extra,
+    )

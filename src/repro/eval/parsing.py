@@ -1,0 +1,46 @@
+"""Parsing generated text into discrete answers.
+
+The Miss metric in Table 2 counts generations that contain no valid
+answer (or contradict themselves); this module implements that parse.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError
+
+
+def parse_answer(
+    text: str,
+    positive_text: str,
+    negative_text: str,
+) -> int | None:
+    """Map generated ``text`` to 1 / 0 / None (miss).
+
+    The first token that matches either answer wins; if neither answer
+    appears the generation is a miss.  Matching is case-insensitive and
+    token-based so ``"yes definitely"`` parses while ``"eyesore"`` does
+    not.
+    """
+    if positive_text == negative_text:
+        raise EvaluationError("positive and negative answers must differ")
+    positive = positive_text.lower()
+    negative = negative_text.lower()
+    for token in text.lower().split():
+        cleaned = token.strip(".,!?;:")
+        if cleaned == positive:
+            return 1
+        if cleaned == negative:
+            return 0
+    return None
+
+
+def parse_choice(text: str, choices: tuple[str, ...]) -> str | None:
+    """First matching choice token in a generation, else None (miss)."""
+    if not choices:
+        raise EvaluationError("parse_choice needs at least one choice")
+    lowered = {c.lower(): c for c in choices}
+    for token in text.lower().split():
+        cleaned = token.strip(".,!?;:")
+        if cleaned in lowered:
+            return lowered[cleaned]
+    return None

@@ -1,0 +1,43 @@
+"""Plain-text table formatting for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import EvaluationError
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None) -> str:
+    """Render an aligned monospace table.
+
+    ``None`` cells render as ``-``; floats are shown with three decimals,
+    matching the paper's tables.
+    """
+    if not headers:
+        raise EvaluationError("format_table needs headers")
+
+    def fmt(cell) -> str:
+        if cell is None:
+            return "-"
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise EvaluationError(f"row width {len(row)} != header width {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)

@@ -1,0 +1,41 @@
+"""Training-data influence estimation: TracInCP, TracSeq, agent scoring."""
+
+from repro.influence.agent import AgentScorer
+from repro.influence.gradients import (
+    GradientProjector,
+    flatten_grads,
+    gradient_matrix,
+    per_sample_gradient,
+    trainable_parameters,
+)
+from repro.influence.selection import (
+    bottom_k_indices,
+    normalize_scores,
+    select_top_k,
+    split_high_low,
+    stratified_top_k,
+    top_k_indices,
+)
+from repro.influence.ppl import perplexities, ppl_quality_scores, sample_losses
+from repro.influence.tracin import TracInCP
+from repro.influence.tracseq import TracSeq
+
+__all__ = [
+    "TracInCP",
+    "TracSeq",
+    "AgentScorer",
+    "GradientProjector",
+    "per_sample_gradient",
+    "gradient_matrix",
+    "flatten_grads",
+    "trainable_parameters",
+    "top_k_indices",
+    "bottom_k_indices",
+    "select_top_k",
+    "split_high_low",
+    "stratified_top_k",
+    "normalize_scores",
+    "sample_losses",
+    "perplexities",
+    "ppl_quality_scores",
+]

@@ -1,0 +1,95 @@
+"""Per-sample gradient extraction and random-projection sketching.
+
+TracInCP needs, at each stored checkpoint, the gradient of the loss for
+every candidate training sample and every test sample.  Gradients are
+flattened over the *trainable* parameters only — with LoRA applied this
+is the adapter subspace, which is exactly the space fine-tuning moves in.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InfluenceError
+from repro.nn.module import Module, Parameter
+
+TokenExample = tuple[list[int], list[int]]
+
+
+def trainable_parameters(model: Module) -> list[Parameter]:
+    """The parameters gradients are traced over, in a stable order."""
+    params = [p for _, p in sorted(model.named_parameters()) if p.requires_grad]
+    if not params:
+        raise InfluenceError("model has no trainable parameters to trace")
+    return params
+
+
+def flatten_grads(params: Sequence[Parameter]) -> np.ndarray:
+    """Concatenate parameter gradients into one float64 vector.
+
+    Parameters that received no gradient contribute zeros, keeping the
+    layout stable across samples.
+    """
+    chunks = []
+    for p in params:
+        if p.grad is None:
+            chunks.append(np.zeros(p.size, dtype=np.float64))
+        else:
+            chunks.append(p.grad.reshape(-1).astype(np.float64))
+    return np.concatenate(chunks)
+
+
+def per_sample_gradient(model, example: TokenExample) -> np.ndarray:
+    """Gradient of the LM loss for a single tokenized example."""
+    params = trainable_parameters(model)
+    model.zero_grad()
+    input_ids, labels = example
+    loss = model.loss(
+        np.asarray(input_ids, dtype=np.int64)[None, :],
+        np.asarray(labels, dtype=np.int64)[None, :],
+    )
+    loss.backward()
+    grad = flatten_grads(params)
+    model.zero_grad()
+    return grad
+
+
+class GradientProjector:
+    """Random Gaussian projection of gradient vectors to ``k`` dimensions.
+
+    Johnson–Lindenstrauss: dot products are preserved in expectation, so
+    projected TracIn scores approximate the exact ones at a fraction of
+    the memory.  Deterministic given ``seed``.
+    """
+
+    def __init__(self, dim: int, k: int = 256, seed: int = 0):
+        if k <= 0 or dim <= 0:
+            raise InfluenceError("projection dims must be positive")
+        self.dim = dim
+        self.k = min(k, dim)
+        rng = np.random.default_rng(seed)
+        self._matrix = rng.standard_normal((dim, self.k)) / np.sqrt(self.k)
+
+    def project(self, vec: np.ndarray) -> np.ndarray:
+        if vec.shape[-1] != self.dim:
+            raise InfluenceError(
+                f"vector dim {vec.shape[-1]} does not match projector dim {self.dim}"
+            )
+        return vec @ self._matrix
+
+
+def gradient_matrix(
+    model,
+    examples: Sequence[TokenExample],
+    projector: GradientProjector | None = None,
+) -> np.ndarray:
+    """Stack per-sample gradients into an ``(n, d)`` (or ``(n, k)``) matrix."""
+    if not examples:
+        raise InfluenceError("gradient_matrix() received no examples")
+    rows = []
+    for example in examples:
+        grad = per_sample_gradient(model, example)
+        rows.append(projector.project(grad) if projector is not None else grad)
+    return np.stack(rows)

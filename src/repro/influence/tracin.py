@@ -1,0 +1,141 @@
+"""TracInCP: influence of training samples via checkpoint gradients.
+
+Pruthi et al. (2020): the influence of training sample ``z`` on test
+sample ``z'`` is approximated by replaying stored checkpoints,
+
+    TracInCP(z, z') = sum_i  eta_i * grad(w_i, z) . grad(w_i, z')
+
+where ``eta_i`` is the learning rate in effect at checkpoint ``i``.
+:class:`~repro.influence.tracseq.TracSeq` extends this with the paper's
+time-decay factor.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InfluenceError
+from repro.influence.gradients import GradientProjector, TokenExample, gradient_matrix
+from repro.training.checkpoint import CheckpointManager, CheckpointRecord
+
+
+class TracInCP:
+    """Replay checkpoints and accumulate gradient dot products.
+
+    Parameters
+    ----------
+    model:
+        The model whose architecture matches the checkpoints.  Its
+        current parameters are saved and restored around scoring.
+    checkpoints:
+        Checkpoint records (from :class:`CheckpointManager`) to replay.
+    projector:
+        Optional :class:`GradientProjector`; with many samples the
+        sketched computation is much cheaper and near-identical in
+        ranking.
+    """
+
+    def __init__(
+        self,
+        model,
+        checkpoints: Sequence[CheckpointRecord],
+        projector: GradientProjector | None = None,
+        normalize: bool = False,
+    ):
+        if not checkpoints:
+            raise InfluenceError("TracInCP requires at least one checkpoint")
+        self.model = model
+        self.checkpoints = sorted(checkpoints, key=lambda r: r.step)
+        self.projector = projector
+        # Cosine-similarity variant (LESS-style): unit-normalize gradients
+        # so large-gradient (high-loss / majority-aligned) samples cannot
+        # dominate purely by magnitude.
+        self.normalize = normalize
+
+    def _grads(self, examples: Sequence[TokenExample]) -> np.ndarray:
+        matrix = gradient_matrix(self.model, examples, self.projector)
+        if self.normalize:
+            norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+            matrix = matrix / np.maximum(norms, 1e-12)
+        return matrix
+
+    def _checkpoint_weight(self, index: int, record: CheckpointRecord) -> float:
+        """Multiplier for checkpoint ``index``; TracInCP uses ``eta_i`` only."""
+        return record.lr
+
+    def influence_matrix(
+        self,
+        train_examples: Sequence[TokenExample],
+        test_examples: Sequence[TokenExample],
+    ) -> np.ndarray:
+        """Pairwise influence, shape ``(n_train, n_test)``."""
+        if not train_examples or not test_examples:
+            raise InfluenceError("influence_matrix() needs non-empty train and test sets")
+        saved = self.model.state_dict()
+        try:
+            total = np.zeros((len(train_examples), len(test_examples)))
+            for index, record in enumerate(self.checkpoints):
+                CheckpointManager.restore(self.model, record)
+                g_train = self._grads(train_examples)
+                g_test = self._grads(test_examples)
+                weight = self._checkpoint_weight(index, record)
+                total += weight * (g_train @ g_test.T)
+            return total
+        finally:
+            self.model.load_state_dict(saved)
+
+    def scores(
+        self,
+        train_examples: Sequence[TokenExample],
+        test_examples: Sequence[TokenExample],
+    ) -> np.ndarray:
+        """Influence of each training sample, summed over the test set."""
+        return self.influence_matrix(train_examples, test_examples).sum(axis=1)
+
+    def checkpoint_products(
+        self,
+        train_examples: Sequence[TokenExample],
+        test_examples: Sequence[TokenExample],
+    ) -> np.ndarray:
+        """Raw per-checkpoint gradient dot products, shape ``(n_ckpt, n_train)``.
+
+        Entry ``[i, j]`` is ``grad(w_i, z_j) . sum_test grad(w_i, z')`` with
+        *no* learning-rate or decay weighting applied.  Callers can then
+        recombine with arbitrary checkpoint weights — e.g. to sweep the
+        TracSeq gamma without recomputing gradients:
+
+            products = tracer.checkpoint_products(train, test)
+            lrs = np.array([r.lr for r in tracer.checkpoints])
+            scores = (weights * lrs) @ products
+        """
+        if not train_examples or not test_examples:
+            raise InfluenceError("checkpoint_products() needs non-empty train and test sets")
+        saved = self.model.state_dict()
+        try:
+            rows = []
+            for record in self.checkpoints:
+                CheckpointManager.restore(self.model, record)
+                g_train = self._grads(train_examples)
+                g_test = self._grads(test_examples)
+                rows.append(g_train @ g_test.sum(axis=0))
+            return np.stack(rows)
+        finally:
+            self.model.load_state_dict(saved)
+
+    def self_influence(self, train_examples: Sequence[TokenExample]) -> np.ndarray:
+        """TracIn self-influence (diagonal); high values flag outliers."""
+        if not train_examples:
+            raise InfluenceError("self_influence() needs a non-empty train set")
+        saved = self.model.state_dict()
+        try:
+            total = np.zeros(len(train_examples))
+            for index, record in enumerate(self.checkpoints):
+                CheckpointManager.restore(self.model, record)
+                g_train = self._grads(train_examples)
+                weight = self._checkpoint_weight(index, record)
+                total += weight * (g_train * g_train).sum(axis=1)
+            return total
+        finally:
+            self.model.load_state_dict(saved)

@@ -1,0 +1,22 @@
+"""LoRA fine-tuning: adapters, injection, merging."""
+
+from repro.lora.adapter import LoRAConfig, LoRALinear
+from repro.lora.inject import (
+    apply_lora,
+    iter_lora_modules,
+    lora_state_dict,
+    merge_lora,
+    trainable_parameter_fraction,
+    unmerge_lora,
+)
+
+__all__ = [
+    "LoRAConfig",
+    "LoRALinear",
+    "apply_lora",
+    "iter_lora_modules",
+    "merge_lora",
+    "unmerge_lora",
+    "lora_state_dict",
+    "trainable_parameter_fraction",
+]

@@ -1,0 +1,40 @@
+"""Feature hashing for text, so the agent model can score raw prompts."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class HashingVectorizer:
+    """Map whitespace-tokenized text to a fixed-width hashed bag of words.
+
+    Deterministic across processes (uses blake2b, not Python's randomized
+    ``hash``).  Signs alternate by a second hash bit to reduce collision
+    bias, as in the classic hashing-trick formulation.
+    """
+
+    def __init__(self, n_features: int = 256, signed: bool = True):
+        if n_features <= 0:
+            raise ConfigError("n_features must be positive")
+        self.n_features = n_features
+        self.signed = signed
+
+    def _bucket(self, token: str) -> tuple[int, float]:
+        digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+        value = int.from_bytes(digest, "little")
+        index = value % self.n_features
+        sign = 1.0 if (not self.signed or (value >> 62) & 1) else -1.0
+        return index, sign
+
+    def transform(self, texts: list[str]) -> np.ndarray:
+        """Vectorize ``texts`` into an ``(n, n_features)`` float array."""
+        out = np.zeros((len(texts), self.n_features), dtype=np.float64)
+        for row, text in enumerate(texts):
+            for token in text.split():
+                index, sign = self._bucket(token)
+                out[row, index] += sign
+        return out

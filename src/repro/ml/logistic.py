@@ -1,0 +1,89 @@
+"""From-scratch binary logistic regression (numpy, full-batch gradient descent).
+
+Used in two roles: the lightweight *agent model* that scores training
+samples in the data-pruning pipeline, and the SOTA-expert-system style
+baseline in the Table 2 benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, DataError
+
+
+class LogisticRegression:
+    """L2-regularized logistic regression trained by gradient descent.
+
+    Features are standardized internally (mean/std learned on fit), which
+    makes the fixed learning rate safe across datasets.
+    """
+
+    def __init__(
+        self,
+        lr: float = 0.5,
+        epochs: int = 300,
+        l2: float = 1e-3,
+        tol: float = 1e-7,
+    ):
+        if lr <= 0 or epochs <= 0:
+            raise ConfigError("lr and epochs must be positive")
+        self.lr = lr
+        self.epochs = epochs
+        self.l2 = l2
+        self.tol = tol
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        return (X - self._mean) / self._std
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if X.ndim != 2:
+            raise DataError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] != y.shape[0]:
+            raise DataError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+        if not np.isin(y, (0.0, 1.0)).all():
+            raise DataError("y must contain only 0/1 labels")
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        Xs = self._standardize(X)
+        n, d = Xs.shape
+        w = np.zeros(d)
+        b = 0.0
+        prev_loss = np.inf
+        for _ in range(self.epochs):
+            z = Xs @ w + b
+            p = 1.0 / (1.0 + np.exp(-z))
+            err = p - y
+            grad_w = Xs.T @ err / n + self.l2 * w
+            grad_b = err.mean()
+            w -= self.lr * grad_w
+            b -= self.lr * grad_b
+            loss = self._loss(p, y, w)
+            if abs(prev_loss - loss) < self.tol:
+                break
+            prev_loss = loss
+        self.weights = w
+        self.bias = b
+        return self
+
+    def _loss(self, p: np.ndarray, y: np.ndarray, w: np.ndarray) -> float:
+        eps = 1e-12
+        nll = -(y * np.log(p + eps) + (1 - y) * np.log(1 - p + eps)).mean()
+        return float(nll + 0.5 * self.l2 * (w**2).sum())
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """P(y=1) for each row of ``X``."""
+        if self.weights is None:
+            raise DataError("model is not fitted")
+        Xs = self._standardize(np.asarray(X, dtype=np.float64))
+        return 1.0 / (1.0 + np.exp(-(Xs @ self.weights + self.bias)))
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(X) >= threshold).astype(np.int64)

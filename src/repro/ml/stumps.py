@@ -1,0 +1,98 @@
+"""Gradient-boosted decision stumps, from scratch.
+
+A compact non-linear expert-system baseline (credit scorecards in
+production are typically boosted trees); also usable as an alternative
+agent model for data pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, DataError
+
+
+@dataclass
+class _Stump:
+    feature: int
+    threshold: float
+    left_value: float
+    right_value: float
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        go_right = X[:, self.feature] > self.threshold
+        return np.where(go_right, self.right_value, self.left_value)
+
+
+class GradientBoostedStumps:
+    """Binary classifier: logistic loss boosted over depth-1 trees."""
+
+    def __init__(
+        self,
+        n_rounds: int = 50,
+        learning_rate: float = 0.3,
+        n_thresholds: int = 16,
+    ):
+        if n_rounds <= 0 or learning_rate <= 0 or n_thresholds <= 0:
+            raise ConfigError("n_rounds, learning_rate and n_thresholds must be positive")
+        self.n_rounds = n_rounds
+        self.learning_rate = learning_rate
+        self.n_thresholds = n_thresholds
+        self.stumps: list[_Stump] = []
+        self.base_score: float = 0.0
+
+    def _candidate_thresholds(self, column: np.ndarray) -> np.ndarray:
+        qs = np.linspace(0.0, 1.0, self.n_thresholds + 2)[1:-1]
+        return np.unique(np.quantile(column, qs))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostedStumps":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise DataError(f"bad shapes X={X.shape}, y={y.shape}")
+        pos = np.clip(y.mean(), 1e-6, 1 - 1e-6)
+        self.base_score = float(np.log(pos / (1 - pos)))
+        margin = np.full(y.shape[0], self.base_score)
+        self.stumps = []
+        for _ in range(self.n_rounds):
+            p = 1.0 / (1.0 + np.exp(-margin))
+            residual = y - p  # negative gradient of logistic loss
+            hessian = p * (1 - p)
+            best: tuple[float, _Stump] | None = None
+            for feature in range(X.shape[1]):
+                column = X[:, feature]
+                for threshold in self._candidate_thresholds(column):
+                    right = column > threshold
+                    left = ~right
+                    if not right.any() or not left.any():
+                        continue
+                    # Newton step per leaf.
+                    lv = residual[left].sum() / (hessian[left].sum() + 1e-9)
+                    rv = residual[right].sum() / (hessian[right].sum() + 1e-9)
+                    gain = (
+                        residual[left].sum() ** 2 / (hessian[left].sum() + 1e-9)
+                        + residual[right].sum() ** 2 / (hessian[right].sum() + 1e-9)
+                    )
+                    if best is None or gain > best[0]:
+                        best = (gain, _Stump(feature, float(threshold), lv, rv))
+            if best is None:
+                break
+            stump = best[1]
+            self.stumps.append(stump)
+            margin += self.learning_rate * stump.predict(X)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        margin = np.full(X.shape[0], self.base_score)
+        for stump in self.stumps:
+            margin += self.learning_rate * stump.predict(X)
+        return margin
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-self.decision_function(X)))
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(X) >= threshold).astype(np.int64)

@@ -1,0 +1,41 @@
+"""Neural network library: modules, layers and the MistralTiny causal LM."""
+
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, RMSNorm
+from repro.nn.rope import RotaryEmbedding
+from repro.nn.attention import MultiHeadAttention, rect_attention_mask, sliding_window_mask
+from repro.nn.cache import KVCache, LayerKVCache
+from repro.nn.mlp import MLP, SwiGLU
+from repro.nn.transformer import MistralTiny, ModelConfig, TransformerBlock
+from repro.nn.classifier import SequenceClassifier
+from repro.nn.flops import FlopsEstimate, count_parameters, estimate_flops
+from repro.nn.generation import GenerationConfig, generate, next_token_logits
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "RMSNorm",
+    "LayerNorm",
+    "Dropout",
+    "RotaryEmbedding",
+    "MultiHeadAttention",
+    "sliding_window_mask",
+    "rect_attention_mask",
+    "KVCache",
+    "LayerKVCache",
+    "SwiGLU",
+    "MLP",
+    "ModelConfig",
+    "TransformerBlock",
+    "MistralTiny",
+    "SequenceClassifier",
+    "GenerationConfig",
+    "generate",
+    "next_token_logits",
+    "FlopsEstimate",
+    "count_parameters",
+    "estimate_flops",
+]

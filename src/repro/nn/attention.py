@@ -1,0 +1,140 @@
+"""Multi-head attention with grouped-query heads and sliding-window mask.
+
+This mirrors Mistral's attention: rotary position embeddings on q/k,
+``n_kv_heads <= n_heads`` grouped-query attention, and a causal mask that
+additionally limits each token to a trailing window of
+``sliding_window`` positions.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.tensor import Tensor, softmax
+from repro.tensor.random import default_rng
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.nn.rope import RotaryEmbedding
+
+_NEG_INF = np.float32(-1e9)
+
+
+def rect_attention_mask(
+    q_len: int,
+    kv_len: int,
+    window: int | None,
+    q_offset: int = 0,
+    kv_offset: int = 0,
+) -> np.ndarray:
+    """Additive mask of shape ``(q_len, kv_len)`` for cached decoding.
+
+    Query ``i`` sits at absolute position ``q_offset + i`` and key ``j``
+    at ``kv_offset + j``; attention is allowed when the key is not in
+    the future and (with a window) not older than ``window`` positions.
+    """
+    q_pos = (q_offset + np.arange(q_len))[:, None]
+    k_pos = (kv_offset + np.arange(kv_len))[None, :]
+    allowed = k_pos <= q_pos
+    if window is not None:
+        allowed &= (q_pos - k_pos) < window
+    return np.where(allowed, np.float32(0.0), _NEG_INF).astype(np.float32)
+
+
+@functools.lru_cache(maxsize=64)
+def sliding_window_mask(seq_len: int, window: int | None) -> np.ndarray:
+    """Additive attention mask of shape ``(seq_len, seq_len)``.
+
+    Entry ``(i, j)`` is 0 when token ``i`` may attend to token ``j``
+    (``j <= i`` and, with a window, ``i - j < window``) and ``-1e9``
+    otherwise.
+    """
+    i = np.arange(seq_len)[:, None]
+    j = np.arange(seq_len)[None, :]
+    allowed = j <= i
+    if window is not None:
+        allowed &= (i - j) < window
+    return np.where(allowed, np.float32(0.0), _NEG_INF).astype(np.float32)
+
+
+class MultiHeadAttention(Module):
+    """Grouped-query multi-head self-attention with RoPE."""
+
+    def __init__(
+        self,
+        d_model: int,
+        n_heads: int,
+        n_kv_heads: int | None = None,
+        max_seq_len: int = 512,
+        sliding_window: int | None = None,
+        rope_theta: float = 10000.0,
+        dropout: float = 0.0,
+        rng=None,
+    ):
+        super().__init__()
+        rng = default_rng(rng)
+        n_kv_heads = n_kv_heads or n_heads
+        if d_model % n_heads != 0:
+            raise ConfigError(f"d_model={d_model} not divisible by n_heads={n_heads}")
+        if n_heads % n_kv_heads != 0:
+            raise ConfigError(f"n_heads={n_heads} not divisible by n_kv_heads={n_kv_heads}")
+        self.n_heads = n_heads
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = d_model // n_heads
+        self.sliding_window = sliding_window
+        self.wq = Linear(d_model, n_heads * self.head_dim, bias=False, rng=rng)
+        self.wk = Linear(d_model, n_kv_heads * self.head_dim, bias=False, rng=rng)
+        self.wv = Linear(d_model, n_kv_heads * self.head_dim, bias=False, rng=rng)
+        self.wo = Linear(n_heads * self.head_dim, d_model, bias=False, rng=rng)
+        self.rope = RotaryEmbedding(self.head_dim, max_seq_len, theta=rope_theta)
+        self.attn_dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor, n_heads: int) -> Tensor:
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, n_heads, self.head_dim).transpose((0, 2, 1, 3))
+
+    def forward(self, x: Tensor, cache=None) -> Tensor:
+        """Self-attention over ``x``; with ``cache`` (a
+        :class:`~repro.nn.cache.LayerKVCache`) runs incremental decoding:
+        ``x`` holds only the new tokens and attends over the cached
+        prefix as well."""
+        batch, seq, _ = x.shape
+        start = cache.next_position if cache is not None else 0
+        q = self._split_heads(self.wq(x), self.n_heads)  # (B, H, T, hd)
+        k = self._split_heads(self.wk(x), self.n_kv_heads)  # (B, KV, T, hd)
+        v = self._split_heads(self.wv(x), self.n_kv_heads)
+
+        positions = np.arange(start, start + seq)
+        q = self.rope.apply(q, positions=positions)
+        k = self.rope.apply(k, positions=positions)
+
+        if cache is not None:
+            k_all, v_all = cache.append(k.data, v.data)
+            k = Tensor(k_all)
+            v = Tensor(v_all)
+            kv_offset = cache.offset
+        else:
+            kv_offset = 0
+
+        if self.n_kv_heads != self.n_heads:
+            group = self.n_heads // self.n_kv_heads
+            idx = np.repeat(np.arange(self.n_kv_heads), group)
+            k = k[:, idx]
+            v = v[:, idx]
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.swapaxes(-1, -2)) * scale  # (B, H, T, T_kv)
+        if cache is not None:
+            mask = rect_attention_mask(
+                seq, k.shape[2], self.sliding_window, q_offset=start, kv_offset=kv_offset
+            )
+        else:
+            mask = sliding_window_mask(seq, self.sliding_window)
+        scores = scores + Tensor(mask)
+        weights = softmax(scores, axis=-1)
+        weights = self.attn_dropout(weights)
+        out = weights @ v  # (B, H, T, hd)
+        out = out.transpose((0, 2, 1, 3)).reshape(batch, seq, self.n_heads * self.head_dim)
+        return self.wo(out)

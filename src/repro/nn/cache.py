@@ -1,0 +1,77 @@
+"""KV caches for incremental decoding.
+
+Generation re-uses the attention keys/values of already-processed
+tokens instead of re-running the full prefix each step.  With a sliding
+window of ``w`` the cache is a *rolling buffer*: entries older than the
+window can never be attended to again and are dropped — the same trick
+Mistral uses to bound memory at long contexts.
+
+Caches hold plain numpy arrays (decoding runs under ``no_grad``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+class LayerKVCache:
+    """Rolling key/value buffer for one attention layer.
+
+    Shapes are ``(batch, n_heads, t, head_dim)``; ``offset`` is the
+    absolute position of the first retained entry.
+    """
+
+    def __init__(self, window: int | None = None):
+        self.window = window
+        self.k: np.ndarray | None = None
+        self.v: np.ndarray | None = None
+        self.offset = 0
+
+    def __len__(self) -> int:
+        return 0 if self.k is None else self.k.shape[2]
+
+    @property
+    def next_position(self) -> int:
+        """Absolute position of the next token to be appended."""
+        return self.offset + len(self)
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Append new keys/values; return the full retained buffers."""
+        if k.shape != v.shape:
+            raise ShapeError(f"k shape {k.shape} != v shape {v.shape}")
+        if self.k is None:
+            self.k, self.v = k, v
+        else:
+            if k.shape[:2] != self.k.shape[:2] or k.shape[3] != self.k.shape[3]:
+                raise ShapeError(
+                    f"cache append shape {k.shape} incompatible with {self.k.shape}"
+                )
+            self.k = np.concatenate([self.k, k], axis=2)
+            self.v = np.concatenate([self.v, v], axis=2)
+        if self.window is not None and self.k.shape[2] > self.window:
+            drop = self.k.shape[2] - self.window
+            self.k = self.k[:, :, drop:]
+            self.v = self.v[:, :, drop:]
+            self.offset += drop
+        return self.k, self.v
+
+
+class KVCache:
+    """Per-layer cache bundle for a full model."""
+
+    def __init__(self, n_layers: int, window: int | None = None):
+        if n_layers <= 0:
+            raise ShapeError("n_layers must be positive")
+        self.layers = [LayerKVCache(window) for _ in range(n_layers)]
+
+    def __getitem__(self, index: int) -> LayerKVCache:
+        return self.layers[index]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    @property
+    def next_position(self) -> int:
+        return self.layers[0].next_position

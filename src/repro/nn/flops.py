@@ -1,0 +1,74 @@
+"""Analytic parameter and FLOP counts for MistralTiny configurations.
+
+Used by the throughput benchmark to report model-independent numbers
+(tokens/second at a given compute budget) and by users sizing configs.
+Counts follow the usual transformer accounting: a matmul of shapes
+``(m, k) @ (k, n)`` costs ``2·m·k·n`` FLOPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.transformer import ModelConfig
+
+
+@dataclass(frozen=True)
+class FlopsEstimate:
+    """Parameter and per-forward FLOP estimates."""
+
+    parameters: int
+    flops_per_token: int
+    attention_flops: int
+    ffn_flops: int
+    head_flops: int
+
+    def tokens_per_second(self, flops_per_second: float) -> float:
+        """Throughput implied by a sustained compute rate."""
+        return flops_per_second / self.flops_per_token
+
+
+def count_parameters(config: ModelConfig) -> int:
+    """Exact parameter count for a :class:`MistralTiny` of this config."""
+    d, v = config.d_model, config.vocab_size
+    head_dim = d // config.n_heads
+    kv_dim = config.n_kv_heads * head_dim
+    per_block = (
+        d * d          # wq
+        + d * kv_dim   # wk
+        + d * kv_dim   # wv
+        + d * d        # wo
+        + 3 * d * config.d_ff  # SwiGLU w1, w2, w3
+        + 2 * d        # two RMSNorm scales
+    )
+    total = v * d + config.n_layers * per_block + d  # embeddings + blocks + final norm
+    if not config.tie_embeddings:
+        total += v * d
+    return total
+
+
+def estimate_flops(config: ModelConfig, seq_len: int | None = None) -> FlopsEstimate:
+    """Per-token forward FLOPs at sequence length ``seq_len``.
+
+    Attention score/value matmuls scale with the *attended* length,
+    which the sliding window caps at ``min(seq_len, window)``.
+    """
+    seq_len = seq_len or config.max_seq_len
+    d, v = config.d_model, config.vocab_size
+    head_dim = d // config.n_heads
+    kv_dim = config.n_kv_heads * head_dim
+    attended = min(seq_len, config.sliding_window or seq_len)
+
+    proj = 2 * d * (d + 2 * kv_dim + d)          # q, k, v, o projections
+    scores = 2 * 2 * d * attended                # QK^T and AV per token
+    attention = config.n_layers * (proj + scores)
+    ffn = config.n_layers * 2 * 3 * d * config.d_ff
+    head = 2 * d * v
+
+    return FlopsEstimate(
+        parameters=count_parameters(config),
+        flops_per_token=attention + ffn + head,
+        attention_flops=attention,
+        ffn_flops=ffn,
+        head_flops=head,
+    )

@@ -1,0 +1,124 @@
+"""Decoding utilities: greedy, temperature and top-k sampling.
+
+Generation always runs under :func:`~repro.tensor.no_grad`.  Sequences are
+re-forwarded each step — at the scales this library targets that is both
+simple and fast enough; the sliding-window mask keeps attention cost
+bounded exactly as it would with a rolling KV cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.tensor import no_grad
+from repro.tensor.random import default_rng
+from repro.nn.transformer import MistralTiny
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Decoding parameters.
+
+    ``temperature == 0`` means greedy decoding; ``top_k`` (when set)
+    restricts sampling to the k most likely tokens.
+    """
+
+    max_new_tokens: int = 16
+    temperature: float = 0.0
+    top_k: int | None = None
+    stop_tokens: tuple[int, ...] = ()
+    seed: int = 0
+    use_cache: bool = True
+
+    def __post_init__(self):
+        if self.max_new_tokens <= 0:
+            raise ConfigError("max_new_tokens must be positive")
+        if self.temperature < 0:
+            raise ConfigError("temperature must be non-negative")
+        if self.top_k is not None and self.top_k <= 0:
+            raise ConfigError("top_k must be positive when set")
+
+
+def _sample_token(logits: np.ndarray, config: GenerationConfig, rng) -> int:
+    if config.temperature == 0.0:
+        return int(logits.argmax())
+    scaled = logits / config.temperature
+    if config.top_k is not None and config.top_k < scaled.size:
+        cutoff = np.partition(scaled, -config.top_k)[-config.top_k]
+        scaled = np.where(scaled >= cutoff, scaled, -np.inf)
+    scaled = scaled - scaled.max()
+    probs = np.exp(scaled)
+    probs /= probs.sum()
+    return int(rng.choice(probs.size, p=probs))
+
+
+def generate(
+    model: MistralTiny,
+    prompt_ids: np.ndarray,
+    config: GenerationConfig | None = None,
+) -> list[int]:
+    """Generate a continuation for a single prompt.
+
+    Returns only the newly generated token ids (prompt excluded).  The
+    prompt is truncated on the left if it would overflow the model's
+    context window.
+    """
+    config = config or GenerationConfig()
+    rng = default_rng(config.seed)
+    ids = list(np.asarray(prompt_ids, dtype=np.int64).reshape(-1))
+    generated: list[int] = []
+    max_len = model.config.max_seq_len
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            if config.use_cache:
+                # Incremental decoding: prefill once, then one token per
+                # step.  The prompt is left-truncated so the whole run
+                # fits the position table.
+                prompt = ids[-(max_len - config.max_new_tokens):]
+                cache = model.make_cache()
+                logits = model.forward(np.asarray(prompt, dtype=np.int64)[None, :], cache=cache)
+                for _ in range(config.max_new_tokens):
+                    next_id = _sample_token(logits.data[0, -1], config, rng)
+                    generated.append(next_id)
+                    if next_id in config.stop_tokens or len(generated) == config.max_new_tokens:
+                        break
+                    logits = model.forward(
+                        np.asarray([next_id], dtype=np.int64)[None, :], cache=cache
+                    )
+            else:
+                for _ in range(config.max_new_tokens):
+                    context = ids[-(max_len):]
+                    logits = model.forward(np.asarray(context, dtype=np.int64)[None, :])
+                    next_id = _sample_token(logits.data[0, -1], config, rng)
+                    ids.append(next_id)
+                    generated.append(next_id)
+                    if next_id in config.stop_tokens:
+                        break
+    finally:
+        if was_training:
+            model.train()
+    return generated
+
+
+def next_token_logits(model: MistralTiny, prompt_ids: np.ndarray) -> np.ndarray:
+    """Logits over the vocabulary for the token following ``prompt_ids``.
+
+    Used by the evaluation harness to score discrete answers (e.g. the
+    relative likelihood of "yes" vs "no"), which feeds the KS metric.
+    """
+    ids = np.asarray(prompt_ids, dtype=np.int64).reshape(-1)
+    ids = ids[-model.config.max_seq_len:]
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            logits = model.forward(ids[None, :])
+    finally:
+        if was_training:
+            model.train()
+    return logits.data[0, -1].copy()

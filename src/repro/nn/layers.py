@@ -1,0 +1,95 @@
+"""Basic layers: Linear, Embedding, RMSNorm, LayerNorm, Dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.tensor import Tensor, embedding
+from repro.tensor.random import default_rng, kaiming_init
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W^T + b``.
+
+    Weight is stored as ``(out_features, in_features)`` to match the usual
+    convention (and checkpoint layouts).
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None):
+        super().__init__()
+        rng = default_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        init = kaiming_init(in_features)
+        self.weight = Parameter(init((out_features, in_features), rng))
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.swapaxes(-1, -2)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token embedding table of shape ``(num_embeddings, dim)``."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng=None, std: float = 0.02):
+        super().__init__()
+        rng = default_rng(rng)
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(rng.normal(0.0, std, size=(num_embeddings, dim)).astype(np.float32))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return embedding(self.weight, indices)
+
+
+class RMSNorm(Module):
+    """Root-mean-square normalization (Mistral / Llama style, no bias)."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        ms = (x * x).mean(axis=-1, keepdims=True)
+        inv = (ms + self.eps) ** -0.5
+        return x * inv * self.weight
+
+
+class LayerNorm(Module):
+    """Standard layer normalization with learnable scale and shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim, dtype=np.float32))
+        self.bias = Parameter(np.zeros(dim, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centred = x - mu
+        var = (centred * centred).mean(axis=-1, keepdims=True)
+        return centred * ((var + self.eps) ** -0.5) * self.weight + self.bias
+
+
+class Dropout(Module):
+    """Inverted dropout; identity when ``p == 0`` or in eval mode."""
+
+    def __init__(self, p: float = 0.0, rng=None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ConfigError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = default_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        return x * Tensor(mask)

@@ -1,0 +1,41 @@
+"""Feed-forward blocks: SwiGLU (Mistral's) and a plain SiLU MLP."""
+
+from __future__ import annotations
+
+from repro.tensor import Tensor
+from repro.tensor.random import default_rng
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+
+
+class SwiGLU(Module):
+    """Gated feed-forward: ``W2( SiLU(W1 x) * W3 x )``.
+
+    This is the FFN used by Mistral/Llama; the gate uses the SiLU
+    activation named in Table 3 of the paper.
+    """
+
+    def __init__(self, d_model: int, d_ff: int, dropout: float = 0.0, rng=None):
+        super().__init__()
+        rng = default_rng(rng)
+        self.w1 = Linear(d_model, d_ff, bias=False, rng=rng)  # gate projection
+        self.w3 = Linear(d_model, d_ff, bias=False, rng=rng)  # up projection
+        self.w2 = Linear(d_ff, d_model, bias=False, rng=rng)  # down projection
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.dropout(self.w2(self.w1(x).silu() * self.w3(x)))
+
+
+class MLP(Module):
+    """Plain two-layer MLP with a SiLU nonlinearity."""
+
+    def __init__(self, d_model: int, d_ff: int, dropout: float = 0.0, rng=None):
+        super().__init__()
+        rng = default_rng(rng)
+        self.fc1 = Linear(d_model, d_ff, rng=rng)
+        self.fc2 = Linear(d_ff, d_model, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.dropout(self.fc2(self.fc1(x).silu()))

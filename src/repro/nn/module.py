@@ -1,0 +1,131 @@
+"""Module / Parameter system.
+
+A :class:`Module` discovers its parameters and submodules by inspecting its
+attributes, in the spirit of ``torch.nn.Module`` but without registration
+magic: an attribute that *is* a :class:`Parameter`, a :class:`Module`, or a
+:class:`ModuleList` participates; everything else is ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor (``requires_grad=True`` by default)."""
+
+    def __init__(self, data, requires_grad: bool = True, name: str | None = None):
+        super().__init__(data, requires_grad=requires_grad, name=name)
+
+
+class Module:
+    """Base class for neural network components."""
+
+    def __init__(self):
+        self.training = True
+
+    # -- traversal -----------------------------------------------------
+
+    def named_children(self) -> Iterator[tuple[str, "Module"]]:
+        for key, value in vars(self).items():
+            if isinstance(value, Module):
+                yield key, value
+            elif isinstance(value, ModuleList):
+                for i, child in enumerate(value):
+                    yield f"{key}.{i}", child
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for key, value in vars(self).items():
+            if isinstance(value, Parameter):
+                yield (f"{prefix}{key}", value)
+        for name, child in self.named_children():
+            yield from child.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        """Total scalar parameter count."""
+        return sum(
+            p.size for p in self.parameters() if p.requires_grad or not trainable_only
+        )
+
+    # -- modes ---------------------------------------------------------
+
+    def train(self) -> "Module":
+        self.training = True
+        for _, child in self.named_children():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for _, child in self.named_children():
+            child.eval()
+        return self
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    # -- state dict ----------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter's data, keyed by dotted path."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter values in place.
+
+        With ``strict=True`` (default) the key sets must match exactly and
+        every shape must agree.
+        """
+        own = dict(self.named_parameters())
+        if strict:
+            missing = sorted(set(own) - set(state))
+            unexpected = sorted(set(state) - set(own))
+            if missing or unexpected:
+                raise CheckpointError(
+                    f"state dict mismatch: missing={missing}, unexpected={unexpected}"
+                )
+        for name, param in own.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name], dtype=np.float32)
+            if value.shape != param.shape:
+                raise CheckpointError(
+                    f"shape mismatch for {name}: checkpoint {value.shape} vs model {param.shape}"
+                )
+            param.data = value.copy()
+
+    # -- call ----------------------------------------------------------
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList:
+    """An ordered container of modules that participates in traversal."""
+
+    def __init__(self, modules=()):
+        self._modules: list[Module] = list(modules)
+
+    def append(self, module: Module) -> None:
+        self._modules.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[index]

@@ -1,0 +1,60 @@
+"""Rotary positional embeddings (RoPE), split-half convention.
+
+Mistral applies RoPE to queries and keys.  The table of cosines/sines is
+precomputed up to ``max_seq_len`` and treated as a constant in the graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor import Tensor, concat
+
+
+class RotaryEmbedding:
+    """Precomputed RoPE tables.
+
+    Parameters
+    ----------
+    head_dim:
+        Per-head dimension (must be even).
+    max_seq_len:
+        Longest sequence the table covers.
+    theta:
+        Base frequency (Mistral uses 10000.0).
+    """
+
+    def __init__(self, head_dim: int, max_seq_len: int, theta: float = 10000.0):
+        if head_dim % 2 != 0:
+            raise ShapeError(f"RoPE head_dim must be even, got {head_dim}")
+        self.head_dim = head_dim
+        self.max_seq_len = max_seq_len
+        half = head_dim // 2
+        freqs = 1.0 / (theta ** (np.arange(half, dtype=np.float64) / half))
+        angles = np.outer(np.arange(max_seq_len, dtype=np.float64), freqs)
+        self._cos = np.cos(angles).astype(np.float32)  # (max_seq_len, half)
+        self._sin = np.sin(angles).astype(np.float32)
+
+    def apply(self, x: Tensor, positions: np.ndarray | None = None) -> Tensor:
+        """Rotate ``x`` of shape ``(B, H, T, head_dim)`` by position.
+
+        ``positions`` defaults to ``0..T-1``; pass explicit positions when
+        decoding incrementally with a KV cache.
+        """
+        seq_len = x.shape[-2]
+        if positions is None:
+            positions = np.arange(seq_len)
+        positions = np.asarray(positions)
+        if positions.max(initial=0) >= self.max_seq_len:
+            raise ShapeError(
+                f"position {positions.max()} exceeds RoPE table length {self.max_seq_len}"
+            )
+        half = self.head_dim // 2
+        cos = Tensor(self._cos[positions])  # (T, half) broadcast over (B, H, T, half)
+        sin = Tensor(self._sin[positions])
+        x1 = x[..., :half]
+        x2 = x[..., half:]
+        rotated_first = x1 * cos - x2 * sin
+        rotated_second = x1 * sin + x2 * cos
+        return concat([rotated_first, rotated_second], axis=-1)

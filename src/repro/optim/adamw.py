@@ -1,0 +1,53 @@
+"""AdamW with decoupled weight decay — the paper's optimizer (Table 3)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class AdamW(Optimizer):
+    """AdamW (Loshchilov & Hutter).
+
+    Defaults follow the paper: ``beta1=0.9``, ``beta2=0.999``.  Weight
+    decay is decoupled (applied directly to the weights, not the
+    gradient).
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.step_count += 1
+        t = self.step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            if self.weight_decay:
+                p.data -= self.lr * self.weight_decay * p.data
+            p.data -= (self.lr * m_hat / (np.sqrt(v_hat) + self.eps)).astype(np.float32)

@@ -1,0 +1,32 @@
+"""Gradient clipping."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+def global_grad_norm(params: Sequence[Parameter]) -> float:
+    """L2 norm over all gradients (missing gradients count as zero)."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float((p.grad.astype(np.float64) ** 2).sum())
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.
+    """
+    norm = global_grad_norm(params)
+    if norm > max_norm and norm > 0:
+        scale = np.float32(max_norm / norm)
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm

@@ -1,0 +1,43 @@
+"""Lion optimizer (Chen et al., 2023): sign-of-momentum updates.
+
+A memory-light alternative to AdamW (one moment buffer instead of two)
+offered for ablations; the paper's recipe remains AdamW.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class Lion(Optimizer):
+    """EvoLved sign momentum: ``w -= lr * sign(b1*m + (1-b1)*g)``."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 1e-4,
+        betas: tuple[float, float] = (0.9, 0.99),
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.step_count += 1
+        for p, m in zip(self.params, self._m):
+            if p.grad is None:
+                continue
+            g = p.grad
+            update = np.sign(self.beta1 * m + (1.0 - self.beta1) * g)
+            if self.weight_decay:
+                p.data -= self.lr * self.weight_decay * p.data
+            p.data -= (self.lr * update).astype(np.float32)
+            m *= self.beta2
+            m += (1.0 - self.beta2) * g

@@ -1,0 +1,33 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over an explicit parameter list.
+
+    Only parameters with ``requires_grad=True`` are updated, so a model
+    with frozen base weights and LoRA adapters can hand its full
+    parameter list to the optimizer.
+    """
+
+    def __init__(self, params: Sequence[Parameter], lr: float):
+        if lr <= 0:
+            raise ConfigError(f"learning rate must be positive, got {lr}")
+        self.params = [p for p in params if p.requires_grad]
+        if not self.params:
+            raise ConfigError("optimizer received no trainable parameters")
+        self.lr = lr
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError

@@ -1,0 +1,37 @@
+"""Plain SGD with optional momentum.
+
+TracInCP's derivation assumes SGD steps between checkpoints, so the
+influence tests use this optimizer; production fine-tuning uses AdamW.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float = 1e-2, momentum: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params] if momentum else None
+
+    def step(self) -> None:
+        self.step_count += 1
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            if self._velocity is not None:
+                vel = self._velocity[i]
+                vel *= self.momentum
+                vel += p.grad
+                update = vel
+            else:
+                update = p.grad
+            p.data -= (self.lr * update).astype(np.float32)

@@ -1,0 +1,35 @@
+"""Serving layer: the Behavior Card service plus production monitoring."""
+
+from repro.serving.behavior_card import (
+    AuditEntry,
+    BehaviorCardDecision,
+    BehaviorCardService,
+    ServiceStats,
+)
+from repro.serving.explain import ReasonCode, adverse_action_reasons, reason_codes
+from repro.serving.scorecard import ScorecardScaler
+from repro.serving.monitoring import (
+    PSI_DRIFT,
+    PSI_WATCH,
+    DriftMonitor,
+    ShadowDeployment,
+    ShadowRecord,
+    population_stability_index,
+)
+
+__all__ = [
+    "BehaviorCardService",
+    "BehaviorCardDecision",
+    "AuditEntry",
+    "ServiceStats",
+    "population_stability_index",
+    "DriftMonitor",
+    "ShadowDeployment",
+    "ShadowRecord",
+    "PSI_WATCH",
+    "PSI_DRIFT",
+    "ScorecardScaler",
+    "ReasonCode",
+    "reason_codes",
+    "adverse_action_reasons",
+]

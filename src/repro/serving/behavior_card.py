@@ -1,0 +1,146 @@
+"""Behavior Card service — the paper's production deployment surface.
+
+"This method has been successfully deployed in our Behavior Card
+service, which supports the operational model in the loan process."
+
+The service wraps a fine-tuned classifier: behavior text in, default
+probability and approve/decline decision out, with an LRU response
+cache and an append-only audit log (both regulatory table stakes for
+credit decisioning).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ServingError
+from repro.data.templates import CLASSIFICATION_TEMPLATE
+
+DEFAULT_QUESTION = "will this user default on their loan"
+
+
+@dataclass(frozen=True)
+class BehaviorCardDecision:
+    """Outcome of one scoring request."""
+
+    user_id: str
+    score: float  # P(default)
+    approved: bool
+    threshold: float
+    cached: bool
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """Immutable audit-log record of one decision."""
+
+    timestamp: float
+    user_id: str
+    score: float
+    approved: bool
+    prompt: str
+
+
+@dataclass
+class ServiceStats:
+    requests: int = 0
+    cache_hits: int = 0
+    approvals: int = 0
+
+    @property
+    def approval_rate(self) -> float:
+        return self.approvals / self.requests if self.requests else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+
+class BehaviorCardService:
+    """Loan-decision scoring service backed by a ZiGong classifier.
+
+    Parameters
+    ----------
+    classifier:
+        An :class:`~repro.baselines.lm.LMClassifier` (or anything with a
+        compatible ``score(prompt, positive, negative)`` method).
+    threshold:
+        Approve when P(default) is strictly below this value.
+    cache_size:
+        Maximum number of cached (behavior text -> score) entries.
+    clock:
+        Injected time source for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        classifier,
+        threshold: float = 0.5,
+        cache_size: int = 1024,
+        question: str = DEFAULT_QUESTION,
+        clock: Callable[[], float] = time.time,
+    ):
+        if not 0.0 < threshold < 1.0:
+            raise ServingError(f"threshold must be in (0, 1), got {threshold}")
+        if cache_size <= 0:
+            raise ServingError(f"cache_size must be positive, got {cache_size}")
+        self.classifier = classifier
+        self.threshold = threshold
+        self.question = question
+        self._clock = clock
+        self._cache: OrderedDict[str, float] = OrderedDict()
+        self._cache_size = cache_size
+        self._audit: list[AuditEntry] = []
+        self.stats = ServiceStats()
+
+    def _prompt(self, behavior_text: str) -> str:
+        return CLASSIFICATION_TEMPLATE.format(sentence=behavior_text, question=self.question)
+
+    def _score(self, behavior_text: str) -> tuple[float, bool]:
+        cached = behavior_text in self._cache
+        if cached:
+            self._cache.move_to_end(behavior_text)
+            score = self._cache[behavior_text]
+        else:
+            score = float(self.classifier.score(self._prompt(behavior_text), "yes", "no"))
+            self._cache[behavior_text] = score
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return score, cached
+
+    def decide(self, user_id: str, behavior_text: str) -> BehaviorCardDecision:
+        """Score a user's behavior summary and record the decision."""
+        if not behavior_text.strip():
+            raise ServingError("behavior_text must be non-empty")
+        score, cached = self._score(behavior_text)
+        approved = score < self.threshold
+        self.stats.requests += 1
+        self.stats.cache_hits += int(cached)
+        self.stats.approvals += int(approved)
+        self._audit.append(
+            AuditEntry(
+                timestamp=self._clock(),
+                user_id=user_id,
+                score=score,
+                approved=approved,
+                prompt=self._prompt(behavior_text),
+            )
+        )
+        return BehaviorCardDecision(
+            user_id=user_id,
+            score=score,
+            approved=approved,
+            threshold=self.threshold,
+            cached=cached,
+        )
+
+    def decide_batch(self, requests: list[tuple[str, str]]) -> list[BehaviorCardDecision]:
+        """Score many ``(user_id, behavior_text)`` pairs."""
+        return [self.decide(user_id, text) for user_id, text in requests]
+
+    def audit_log(self) -> list[AuditEntry]:
+        """A copy of the append-only audit log."""
+        return list(self._audit)

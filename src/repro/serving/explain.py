@@ -1,0 +1,82 @@
+"""Reason codes: feature-level explanations for credit decisions.
+
+Lenders must return *adverse action reasons* with a decline ("checking
+status too low", "recent late payments").  For a prompt-driven model the
+model-agnostic way to get them is occlusion: remove one feature token
+from the prompt, re-score, and attribute the score change to that
+feature.  Positive delta = the feature pushed P(default) up (a reason
+to decline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServingError
+
+
+@dataclass(frozen=True)
+class ReasonCode:
+    """One feature's contribution to the decision."""
+
+    feature: str
+    value: str
+    delta: float  # score(with feature) − score(without); >0 raised risk
+
+    def describe(self) -> str:
+        direction = "raised" if self.delta > 0 else "lowered"
+        return f"{self.feature}={self.value} {direction} the risk score by {abs(self.delta):.3f}"
+
+
+def _feature_tokens(prompt: str) -> list[tuple[int, str, str]]:
+    """(position, name, value) for every ``name=value`` token in the prompt."""
+    found = []
+    for i, token in enumerate(prompt.split()):
+        if "=" in token:
+            name, _, value = token.partition("=")
+            found.append((i, name, value))
+    return found
+
+
+def reason_codes(
+    classifier,
+    prompt: str,
+    positive_text: str = "yes",
+    negative_text: str = "no",
+    top_k: int = 4,
+) -> list[ReasonCode]:
+    """Occlusion attribution of the classifier's score over the prompt.
+
+    ``classifier`` needs a ``score(prompt, positive, negative)`` method
+    (e.g. :class:`~repro.baselines.lm.LMClassifier`).  Returns the
+    ``top_k`` features by absolute contribution, strongest first.
+    """
+    if top_k <= 0:
+        raise ServingError("top_k must be positive")
+    features = _feature_tokens(prompt)
+    if not features:
+        raise ServingError("prompt contains no name=value feature tokens to occlude")
+    tokens = prompt.split()
+    base = float(classifier.score(prompt, positive_text, negative_text))
+    codes = []
+    for position, name, value in features:
+        occluded = " ".join(t for i, t in enumerate(tokens) if i != position)
+        without = float(classifier.score(occluded, positive_text, negative_text))
+        codes.append(ReasonCode(feature=name, value=value, delta=base - without))
+    codes.sort(key=lambda c: abs(c.delta), reverse=True)
+    return codes[:top_k]
+
+
+def adverse_action_reasons(
+    classifier,
+    prompt: str,
+    positive_text: str = "yes",
+    negative_text: str = "no",
+    top_k: int = 4,
+) -> list[ReasonCode]:
+    """Only the risk-*raising* features — what a decline letter cites."""
+    codes = reason_codes(
+        classifier, prompt, positive_text, negative_text, top_k=max(top_k, 4)
+    )
+    raising = [c for c in codes if c.delta > 0]
+    return raising[:top_k]

@@ -1,0 +1,151 @@
+"""Production monitoring for the Behavior Card service.
+
+Two standard risk-control tools:
+
+* **PSI (Population Stability Index)** — *the* drift measure in credit
+  scoring: compares the live score distribution against the validation
+  distribution the model was approved on.  Conventional thresholds:
+  < 0.1 stable, 0.1–0.25 watch, > 0.25 drifted (recalibrate).
+* **Shadow deployment** — run a candidate model silently next to the
+  production model on live traffic and track agreement before cutover.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ServingError
+
+PSI_WATCH = 0.1
+PSI_DRIFT = 0.25
+
+
+def population_stability_index(
+    expected: np.ndarray,
+    actual: np.ndarray,
+    n_bins: int = 10,
+    epsilon: float = 1e-4,
+) -> float:
+    """PSI between a reference (``expected``) and a live (``actual``) sample.
+
+    Bins are the deciles of the reference distribution; empty shares are
+    floored at ``epsilon`` so the logarithm stays finite.
+    """
+    expected = np.asarray(expected, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if expected.size < n_bins or actual.size == 0:
+        raise ServingError(
+            f"PSI needs at least n_bins={n_bins} reference points and 1 live point"
+        )
+    edges = np.quantile(expected, np.linspace(0, 1, n_bins + 1)[1:-1])
+    expected_counts = np.bincount(np.digitize(expected, edges), minlength=n_bins)
+    actual_counts = np.bincount(np.digitize(actual, edges), minlength=n_bins)
+    expected_share = np.maximum(expected_counts / expected.size, epsilon)
+    actual_share = np.maximum(actual_counts / actual.size, epsilon)
+    return float(((actual_share - expected_share) * np.log(actual_share / expected_share)).sum())
+
+
+class DriftMonitor:
+    """Rolling-window PSI monitor over live model scores."""
+
+    def __init__(self, reference_scores, window: int = 500, n_bins: int = 10):
+        reference = np.asarray(reference_scores, dtype=np.float64)
+        if reference.size < n_bins:
+            raise ServingError(f"need at least {n_bins} reference scores")
+        if window <= 0:
+            raise ServingError("window must be positive")
+        self.reference = reference
+        self.n_bins = n_bins
+        self._window: deque[float] = deque(maxlen=window)
+
+    def observe(self, score: float) -> None:
+        """Record one live score."""
+        self._window.append(float(score))
+
+    @property
+    def n_observed(self) -> int:
+        return len(self._window)
+
+    def psi(self) -> float:
+        """PSI of the current window against the reference."""
+        if not self._window:
+            raise ServingError("no live scores observed yet")
+        return population_stability_index(
+            self.reference, np.asarray(self._window), n_bins=self.n_bins
+        )
+
+    def status(self) -> str:
+        """``stable`` / ``watch`` / ``drift`` by conventional thresholds."""
+        value = self.psi()
+        if value < PSI_WATCH:
+            return "stable"
+        if value < PSI_DRIFT:
+            return "watch"
+        return "drift"
+
+
+@dataclass(frozen=True)
+class ShadowRecord:
+    """One request scored by both the primary and the shadow model."""
+
+    prompt: str
+    primary_score: float
+    shadow_score: float
+
+    @property
+    def primary_label(self) -> int:
+        return int(self.primary_score >= 0.5)
+
+    @property
+    def shadow_label(self) -> int:
+        return int(self.shadow_score >= 0.5)
+
+
+class ShadowDeployment:
+    """Score live traffic with a candidate model alongside production.
+
+    Only the primary's score is returned to callers; the shadow's output
+    is recorded for offline comparison.
+    """
+
+    def __init__(self, primary, shadow):
+        self.primary = primary
+        self.shadow = shadow
+        self._records: list[ShadowRecord] = []
+
+    def score(self, prompt: str, positive_text: str = "yes", negative_text: str = "no") -> float:
+        primary_score = float(self.primary.score(prompt, positive_text, negative_text))
+        shadow_score = float(self.shadow.score(prompt, positive_text, negative_text))
+        self._records.append(ShadowRecord(prompt, primary_score, shadow_score))
+        return primary_score
+
+    @property
+    def n_requests(self) -> int:
+        return len(self._records)
+
+    def records(self) -> list[ShadowRecord]:
+        return list(self._records)
+
+    def agreement_rate(self) -> float:
+        """Share of requests where both models decide the same label."""
+        if not self._records:
+            raise ServingError("no shadow traffic recorded yet")
+        same = sum(1 for r in self._records if r.primary_label == r.shadow_label)
+        return same / len(self._records)
+
+    def score_correlation(self) -> float:
+        """Pearson correlation of the two models' scores."""
+        if len(self._records) < 2:
+            raise ServingError("need at least two requests for a correlation")
+        primary = np.array([r.primary_score for r in self._records])
+        shadow = np.array([r.shadow_score for r in self._records])
+        if primary.std() == 0 or shadow.std() == 0:
+            return 0.0
+        return float(np.corrcoef(primary, shadow)[0, 1])
+
+    def disagreements(self) -> list[ShadowRecord]:
+        """Requests where the two models decide differently."""
+        return [r for r in self._records if r.primary_label != r.shadow_label]

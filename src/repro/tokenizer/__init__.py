@@ -1,0 +1,27 @@
+"""Tokenizers: word-level (default for instruct pipelines) and byte-level BPE."""
+
+from repro.tokenizer.base import BaseTokenizer
+from repro.tokenizer.bpe import BPETokenizer
+from repro.tokenizer.vocab import (
+    BOS_TOKEN,
+    DEFAULT_SPECIAL_TOKENS,
+    EOS_TOKEN,
+    PAD_TOKEN,
+    SEP_TOKEN,
+    UNK_TOKEN,
+    Vocab,
+)
+from repro.tokenizer.whitespace import WordTokenizer
+
+__all__ = [
+    "BaseTokenizer",
+    "WordTokenizer",
+    "BPETokenizer",
+    "Vocab",
+    "PAD_TOKEN",
+    "UNK_TOKEN",
+    "BOS_TOKEN",
+    "EOS_TOKEN",
+    "SEP_TOKEN",
+    "DEFAULT_SPECIAL_TOKENS",
+]

@@ -1,0 +1,64 @@
+"""Common tokenizer interface."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.tokenizer.vocab import Vocab
+
+
+class BaseTokenizer(abc.ABC):
+    """Encode/decode text to integer token ids.
+
+    Subclasses share a :class:`Vocab` (so special-token ids are uniform)
+    and must round-trip ordinary text: ``decode(encode(s)) == s`` up to
+    whitespace normalization documented per tokenizer.
+    """
+
+    def __init__(self, vocab: Vocab):
+        self.vocab = vocab
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    @property
+    def pad_id(self) -> int:
+        return self.vocab.pad_id
+
+    @property
+    def unk_id(self) -> int:
+        return self.vocab.unk_id
+
+    @property
+    def bos_id(self) -> int:
+        return self.vocab.bos_id
+
+    @property
+    def eos_id(self) -> int:
+        return self.vocab.eos_id
+
+    @property
+    def sep_id(self) -> int:
+        return self.vocab.sep_id
+
+    @abc.abstractmethod
+    def encode(self, text: str, add_special: bool = False) -> list[int]:
+        """Encode ``text``; with ``add_special`` wrap in BOS ... EOS."""
+
+    @abc.abstractmethod
+    def decode(self, ids: list[int], skip_special: bool = True) -> str:
+        """Decode ids back to text."""
+
+    def encode_pair(self, prompt: str, answer: str) -> tuple[list[int], list[int]]:
+        """Encode an instruction pair as ``BOS prompt SEP answer EOS``.
+
+        Returns ``(input_ids, labels)`` where labels equal input_ids on
+        the answer span (SEP exclusive .. EOS inclusive) and ``-100``
+        elsewhere — the standard supervised-fine-tuning masking.
+        """
+        prompt_ids = [self.bos_id] + self.encode(prompt) + [self.sep_id]
+        answer_ids = self.encode(answer) + [self.eos_id]
+        input_ids = prompt_ids + answer_ids
+        labels = [-100] * len(prompt_ids) + list(answer_ids)
+        return input_ids, labels

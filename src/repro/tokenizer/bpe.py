@@ -1,0 +1,165 @@
+"""Byte-level BPE tokenizer, trained from scratch.
+
+The algorithm is the classic one: start from the 256 raw bytes, repeatedly
+merge the most frequent adjacent pair within pre-tokenized chunks, stop at
+the requested vocabulary size.  Pre-tokenization splits text into runs of
+non-whitespace and whitespace, so merges never cross word boundaries and
+round-trips are byte-exact.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import TokenizerError
+from repro.tokenizer.base import BaseTokenizer
+from repro.tokenizer.vocab import DEFAULT_SPECIAL_TOKENS, Vocab
+
+_CHUNK_RE = re.compile(r"\S+|\s+")
+
+
+class BPETokenizer(BaseTokenizer):
+    """Byte-level BPE with deterministic training."""
+
+    def __init__(self, merges: list[tuple[int, int]], vocab: Vocab | None = None):
+        vocab = vocab or self._build_vocab(len(merges))
+        super().__init__(vocab)
+        self._byte_offset = len(DEFAULT_SPECIAL_TOKENS)
+        self._merges: dict[tuple[int, int], int] = {}
+        self._id_to_bytes: dict[int, bytes] = {
+            self._byte_offset + b: bytes([b]) for b in range(256)
+        }
+        next_id = self._byte_offset + 256
+        for left, right in merges:
+            if left not in self._id_to_bytes or right not in self._id_to_bytes:
+                raise TokenizerError(f"merge ({left}, {right}) references unknown token ids")
+            self._merges[(left, right)] = next_id
+            self._id_to_bytes[next_id] = self._id_to_bytes[left] + self._id_to_bytes[right]
+            next_id += 1
+        self._merge_list = list(merges)
+
+    @staticmethod
+    def _build_vocab(n_merges: int) -> Vocab:
+        vocab = Vocab()
+        for b in range(256):
+            vocab.add(f"<0x{b:02X}>")
+        for i in range(n_merges):
+            vocab.add(f"<merge-{i}>")
+        return vocab
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def train(
+        cls,
+        texts: Iterable[str],
+        vocab_size: int = 512,
+        min_frequency: int = 2,
+    ) -> "BPETokenizer":
+        """Train merges on ``texts`` until ``vocab_size`` is reached.
+
+        ``vocab_size`` counts special tokens and the 256 byte tokens, so
+        it must be at least ``261``.
+        """
+        base = len(DEFAULT_SPECIAL_TOKENS) + 256
+        if vocab_size < base:
+            raise TokenizerError(f"vocab_size must be >= {base}, got {vocab_size}")
+        offset = len(DEFAULT_SPECIAL_TOKENS)
+
+        chunk_counts: Counter[bytes] = Counter()
+        for text in texts:
+            for chunk in _CHUNK_RE.findall(text):
+                chunk_counts[chunk.encode("utf-8")] += 1
+        # Each distinct chunk is a mutable list of current token ids.
+        chunks: list[tuple[list[int], int]] = [
+            ([offset + b for b in chunk], freq) for chunk, freq in sorted(chunk_counts.items())
+        ]
+
+        merges: list[tuple[int, int]] = []
+        next_id = base
+        while next_id < vocab_size:
+            pair_counts: Counter[tuple[int, int]] = Counter()
+            for ids, freq in chunks:
+                for pair in zip(ids, ids[1:]):
+                    pair_counts[pair] += freq
+            if not pair_counts:
+                break
+            best, best_count = min(
+                pair_counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+            if best_count < min_frequency:
+                break
+            merges.append(best)
+            for ids, _ in chunks:
+                i = 0
+                while i < len(ids) - 1:
+                    if ids[i] == best[0] and ids[i + 1] == best[1]:
+                        ids[i:i + 2] = [next_id]
+                    else:
+                        i += 1
+            next_id += 1
+        return cls(merges)
+
+    # ------------------------------------------------------------------
+    # Encode / decode
+    # ------------------------------------------------------------------
+
+    def _encode_chunk(self, chunk: bytes) -> list[int]:
+        ids = [self._byte_offset + b for b in chunk]
+        while len(ids) > 1:
+            ranked = [
+                (self._merges[pair], i)
+                for i, pair in enumerate(zip(ids, ids[1:]))
+                if pair in self._merges
+            ]
+            if not ranked:
+                break
+            # Apply the earliest-learned merge (smallest new id) first.
+            merged_id, pos = min(ranked)
+            ids[pos:pos + 2] = [merged_id]
+        return ids
+
+    def encode(self, text: str, add_special: bool = False) -> list[int]:
+        ids: list[int] = []
+        for chunk in _CHUNK_RE.findall(text):
+            ids.extend(self._encode_chunk(chunk.encode("utf-8")))
+        if add_special:
+            ids = [self.bos_id] + ids + [self.eos_id]
+        return ids
+
+    def decode(self, ids: list[int], skip_special: bool = True) -> str:
+        specials = {self.pad_id, self.bos_id, self.eos_id, self.sep_id, self.unk_id}
+        data = bytearray()
+        for idx in ids:
+            idx = int(idx)
+            if idx in specials:
+                if not skip_special:
+                    data.extend(self.vocab.id_to_token(idx).encode("utf-8"))
+                continue
+            piece = self._id_to_bytes.get(idx)
+            if piece is None:
+                raise TokenizerError(f"unknown token id {idx}")
+            data.extend(piece)
+        return data.decode("utf-8", errors="replace")
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        payload = {"merges": self._merge_list, "version": 1}
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BPETokenizer":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != 1:
+            raise TokenizerError(f"unsupported tokenizer file version: {payload.get('version')}")
+        merges = [tuple(pair) for pair in payload["merges"]]
+        return cls(merges)

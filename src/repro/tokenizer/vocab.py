@@ -1,0 +1,89 @@
+"""Vocabulary and special-token plumbing shared by all tokenizers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TokenizerError
+
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+BOS_TOKEN = "<s>"
+EOS_TOKEN = "</s>"
+SEP_TOKEN = "<sep>"
+
+DEFAULT_SPECIAL_TOKENS = (PAD_TOKEN, UNK_TOKEN, BOS_TOKEN, EOS_TOKEN, SEP_TOKEN)
+
+
+@dataclass
+class Vocab:
+    """Bidirectional token <-> id map with reserved special tokens.
+
+    Special tokens always occupy the lowest ids, in the order given, so
+    ``pad_id == 0`` by default across the library.
+    """
+
+    special_tokens: tuple[str, ...] = DEFAULT_SPECIAL_TOKENS
+
+    def __post_init__(self):
+        if len(set(self.special_tokens)) != len(self.special_tokens):
+            raise TokenizerError("duplicate special tokens")
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        for token in self.special_tokens:
+            self.add(token)
+
+    def add(self, token: str) -> int:
+        """Add a token if absent; return its id either way."""
+        existing = self._token_to_id.get(token)
+        if existing is not None:
+            return existing
+        idx = len(self._id_to_token)
+        self._token_to_id[token] = idx
+        self._id_to_token.append(token)
+        return idx
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def token_to_id(self, token: str) -> int | None:
+        return self._token_to_id.get(token)
+
+    def id_to_token(self, idx: int) -> str:
+        if not 0 <= idx < len(self._id_to_token):
+            raise TokenizerError(f"token id {idx} out of range [0, {len(self._id_to_token)})")
+        return self._id_to_token[idx]
+
+    def tokens(self) -> list[str]:
+        return list(self._id_to_token)
+
+    # -- well-known ids --------------------------------------------------
+
+    @property
+    def pad_id(self) -> int:
+        return self._require(PAD_TOKEN)
+
+    @property
+    def unk_id(self) -> int:
+        return self._require(UNK_TOKEN)
+
+    @property
+    def bos_id(self) -> int:
+        return self._require(BOS_TOKEN)
+
+    @property
+    def eos_id(self) -> int:
+        return self._require(EOS_TOKEN)
+
+    @property
+    def sep_id(self) -> int:
+        return self._require(SEP_TOKEN)
+
+    def _require(self, token: str) -> int:
+        idx = self._token_to_id.get(token)
+        if idx is None:
+            raise TokenizerError(f"special token {token!r} not in vocabulary")
+        return idx

@@ -1,0 +1,95 @@
+"""Checkpoint persistence.
+
+TracInCP / TracSeq replay training through stored checkpoints, so each
+checkpoint records both the parameter state (``.npz``) and the learning
+rate in effect (``.json`` sidecar) — the step size :math:`\\eta_i` in
+Eq. 1 of the paper.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.nn.module import Module
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """Metadata for one stored checkpoint."""
+
+    step: int
+    lr: float
+    path: Path
+
+    @property
+    def meta_path(self) -> Path:
+        return self.path.with_suffix(".json")
+
+
+class CheckpointManager:
+    """Save/load model checkpoints in a directory.
+
+    File layout: ``step-000042.npz`` (parameters) plus
+    ``step-000042.json`` (step, learning rate, extra metadata).
+    """
+
+    def __init__(self, directory: str | Path, keep: int | None = None):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if keep is not None and keep <= 0:
+            raise CheckpointError(f"keep must be positive or None, got {keep}")
+        self.keep = keep
+
+    def save(self, model: Module, step: int, lr: float, extra: dict | None = None) -> CheckpointRecord:
+        """Persist the model state at ``step`` trained with rate ``lr``."""
+        path = self.directory / f"step-{step:06d}.npz"
+        state = model.state_dict()
+        np.savez(path, **state)
+        meta = {"step": step, "lr": lr}
+        if extra:
+            meta.update(extra)
+        path.with_suffix(".json").write_text(json.dumps(meta))
+        record = CheckpointRecord(step=step, lr=lr, path=path)
+        if self.keep is not None:
+            self._prune()
+        return record
+
+    def _prune(self) -> None:
+        records = self.checkpoints()
+        for record in records[: max(0, len(records) - self.keep)]:
+            record.path.unlink(missing_ok=True)
+            record.meta_path.unlink(missing_ok=True)
+
+    def checkpoints(self) -> list[CheckpointRecord]:
+        """All stored checkpoints, ordered by step."""
+        records = []
+        for path in sorted(self.directory.glob("step-*.npz")):
+            meta_path = path.with_suffix(".json")
+            if not meta_path.exists():
+                raise CheckpointError(f"checkpoint {path} has no metadata sidecar")
+            meta = json.loads(meta_path.read_text())
+            records.append(CheckpointRecord(step=int(meta["step"]), lr=float(meta["lr"]), path=path))
+        records.sort(key=lambda r: r.step)
+        return records
+
+    def latest(self) -> CheckpointRecord | None:
+        records = self.checkpoints()
+        return records[-1] if records else None
+
+    @staticmethod
+    def load_state(record: CheckpointRecord) -> dict[str, np.ndarray]:
+        """Load the parameter arrays of a checkpoint."""
+        if not record.path.exists():
+            raise CheckpointError(f"checkpoint file missing: {record.path}")
+        with np.load(record.path) as data:
+            return {key: data[key] for key in data.files}
+
+    @staticmethod
+    def restore(model: Module, record: CheckpointRecord) -> None:
+        """Load a checkpoint's parameters into ``model`` in place."""
+        model.load_state_dict(CheckpointManager.load_state(record))

@@ -1,0 +1,191 @@
+"""Supervised fine-tuning loop with gradient accumulation and checkpoints.
+
+Mirrors the paper's training configuration (Table 3): AdamW, cosine-decay
+learning rate, batch size with gradient accumulation, periodic
+checkpoints consumed later by TracInCP / TracSeq.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError, GradientError
+from repro.nn.transformer import MistralTiny
+from repro.optim.clip import clip_grad_norm
+from repro.optim.optimizer import Optimizer
+from repro.optim.schedule import ConstantLR, LRSchedule
+from repro.training.batching import iter_batches
+from repro.training.callbacks import Callback, History, StepLog
+from repro.training.checkpoint import CheckpointManager
+
+TokenExample = tuple[list[int], list[int]]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Loop hyperparameters.
+
+    ``batch_size`` is the *effective* batch; with ``grad_accum_steps > 1``
+    it is split into that many micro-batches (paper: batch 32, grad
+    accumulation 4).
+    """
+
+    epochs: int = 1
+    batch_size: int = 8
+    grad_accum_steps: int = 1
+    max_steps: int | None = None
+    clip_norm: float | None = 1.0
+    checkpoint_every: int | None = None
+    pad_id: int = 0
+    max_seq_len: int | None = None
+    shuffle: bool = True
+    seed: int = 0
+    # Fail loudly on NaN/Inf losses or gradients instead of silently
+    # corrupting the weights (and every checkpoint after them).
+    detect_anomalies: bool = True
+
+    def __post_init__(self):
+        if self.epochs <= 0:
+            raise ConfigError("epochs must be positive")
+        if self.batch_size <= 0:
+            raise ConfigError("batch_size must be positive")
+        if self.grad_accum_steps <= 0:
+            raise ConfigError("grad_accum_steps must be positive")
+        if self.batch_size % self.grad_accum_steps != 0:
+            raise ConfigError(
+                f"batch_size {self.batch_size} must be divisible by "
+                f"grad_accum_steps {self.grad_accum_steps}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_every <= 0:
+            raise ConfigError("checkpoint_every must be positive or None")
+
+
+class Trainer:
+    """Runs supervised fine-tuning over tokenized instruction examples."""
+
+    def __init__(
+        self,
+        model: MistralTiny,
+        optimizer: Optimizer,
+        config: TrainingConfig | None = None,
+        schedule: LRSchedule | None = None,
+        checkpoint_manager: CheckpointManager | None = None,
+        callbacks: Sequence[Callback] = (),
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.config = config or TrainingConfig()
+        self.schedule = schedule or ConstantLR(optimizer.lr)
+        self.checkpoints = checkpoint_manager
+        self.history = History()
+        self.callbacks: list[Callback] = [self.history, *callbacks]
+        self.global_step = 0
+
+    def resume(self) -> int:
+        """Restore the latest checkpoint and continue from its step.
+
+        Returns the restored step (0 when no checkpoint exists).  Only
+        model parameters are checkpointed; optimizer moments restart,
+        which is the usual trade-off of parameter-only checkpoints.
+        """
+        if self.checkpoints is None:
+            raise ConfigError("resume() requires a checkpoint manager")
+        record = self.checkpoints.latest()
+        if record is None:
+            return 0
+        CheckpointManager.restore(self.model, record)
+        self.global_step = record.step
+        return record.step
+
+    def _run_micro_batch(self, batch) -> float:
+        loss = self.model.loss(batch.input_ids, batch.labels)
+        value = loss.item()
+        if self.config.detect_anomalies and not np.isfinite(value):
+            raise GradientError(
+                f"non-finite loss ({value}) at step {self.global_step}; "
+                "lower the learning rate or enable gradient clipping"
+            )
+        scaled = loss * (1.0 / self.config.grad_accum_steps)
+        scaled.backward()
+        return value
+
+    def train(self, examples: Sequence[TokenExample]) -> History:
+        """Train over ``examples`` (token id / label pairs); returns history."""
+        if not examples:
+            raise ConfigError("train() received no examples")
+        cfg = self.config
+        micro = cfg.batch_size // cfg.grad_accum_steps
+        rng = np.random.default_rng(cfg.seed)
+        max_len = cfg.max_seq_len or self.model.config.max_seq_len
+        stop = False
+
+        # Checkpoint 0 captures the initial parameters so influence replay
+        # can include the pre-training state.
+        if self.checkpoints is not None and self.global_step == 0:
+            self.checkpoints.save(self.model, step=0, lr=self.schedule.lr_at(0))
+
+        for epoch in range(cfg.epochs):
+            epoch_losses: list[float] = []
+            micro_iter = iter_batches(
+                examples,
+                batch_size=micro,
+                pad_id=cfg.pad_id,
+                max_len=max_len,
+                shuffle=cfg.shuffle,
+                rng=rng,
+            )
+            pending: list = []
+            for batch in micro_iter:
+                pending.append(batch)
+                if len(pending) < cfg.grad_accum_steps:
+                    continue
+                loss = self._step(pending)
+                pending = []
+                epoch_losses.append(loss)
+                if cfg.max_steps is not None and self.global_step >= cfg.max_steps:
+                    stop = True
+                if any(cb.should_stop() for cb in self.callbacks):
+                    stop = True
+                if stop:
+                    break
+            if pending and not stop:
+                epoch_losses.append(self._step(pending))
+            mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+            for cb in self.callbacks:
+                cb.on_epoch_end(epoch, mean_loss)
+            if stop or any(cb.should_stop() for cb in self.callbacks):
+                break
+        return self.history
+
+    def _step(self, micro_batches) -> float:
+        lr = self.schedule.lr_at(self.global_step)
+        self.optimizer.lr = lr
+        self.optimizer.zero_grad()
+        losses = [self._run_micro_batch(batch) for batch in micro_batches]
+        if self.config.clip_norm is not None:
+            grad_norm = clip_grad_norm(self.optimizer.params, self.config.clip_norm)
+        else:
+            from repro.optim.clip import global_grad_norm
+
+            grad_norm = global_grad_norm(self.optimizer.params)
+        if self.config.detect_anomalies and not np.isfinite(grad_norm):
+            raise GradientError(
+                f"non-finite gradient norm at step {self.global_step}; "
+                "check inputs and learning rate"
+            )
+        self.optimizer.step()
+        self.global_step += 1
+        loss = float(np.mean(losses))
+        log = StepLog(step=self.global_step, loss=loss, lr=lr, grad_norm=grad_norm)
+        for cb in self.callbacks:
+            cb.on_step(log)
+        if (
+            self.checkpoints is not None
+            and self.config.checkpoint_every is not None
+            and self.global_step % self.config.checkpoint_every == 0
+        ):
+            self.checkpoints.save(self.model, step=self.global_step, lr=lr)
+        return loss

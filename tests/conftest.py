@@ -1,0 +1,80 @@
+"""Shared fixtures: tiny models, datasets and checkpoint directories."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import test_config as make_test_config
+from repro.core import ZiGong
+from repro.data import build_classification_examples
+from repro.datasets import make_german
+from repro.nn import MistralTiny, ModelConfig
+
+
+TINY = ModelConfig(
+    vocab_size=64,
+    d_model=32,
+    n_layers=2,
+    n_heads=4,
+    n_kv_heads=2,
+    d_ff=64,
+    max_seq_len=32,
+    sliding_window=16,
+)
+
+
+@pytest.fixture
+def tiny_config() -> ModelConfig:
+    return TINY
+
+
+@pytest.fixture
+def tiny_model(tiny_config) -> MistralTiny:
+    return MistralTiny(tiny_config, rng=0)
+
+
+@pytest.fixture
+def token_batch(tiny_config):
+    rng = np.random.default_rng(0)
+    return rng.integers(5, tiny_config.vocab_size, size=(2, 12))
+
+
+@pytest.fixture(scope="session")
+def german_small():
+    return make_german(n=160, seed=0)
+
+
+@pytest.fixture(scope="session")
+def german_examples(german_small):
+    return build_classification_examples(german_small)
+
+
+@pytest.fixture(scope="session")
+def fitted_zigong(german_examples):
+    """A ZiGong model quickly fine-tuned on a small german split (shared)."""
+    cfg = make_test_config()
+    cfg = dataclasses.replace(
+        cfg, training=dataclasses.replace(cfg.training, epochs=6), base_lr=5e-3
+    )
+    zigong = ZiGong.from_examples(german_examples, config=cfg)
+    zigong.finetune(german_examples[:96])
+    return zigong
+
+
+def numeric_grad(f, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar function ``f`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i].copy()
+        flat[i] = orig + eps
+        up = f()
+        flat[i] = orig - eps
+        down = f()
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad

@@ -1,0 +1,90 @@
+"""CLI tests (invoking main() in-process)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDatasetsCommand:
+    def test_lists_generators(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "german" in out
+        assert "financial_audit" in out
+
+
+class TestGenerateCommand:
+    def test_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "data.jsonl"
+        code = main(["generate", "--dataset", "german", "--n", "40", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "wrote 40 examples" in capsys.readouterr().out
+
+    def test_split_writes_both_files(self, tmp_path, capsys):
+        out = tmp_path / "data.jsonl"
+        code = main(
+            ["generate", "--dataset", "german", "--n", "50", "--split", "0.2", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert (tmp_path / "data.test.jsonl").exists()
+
+    def test_unknown_dataset_fails_cleanly(self, tmp_path, capsys):
+        code = main(["generate", "--dataset", "nope", "--out", str(tmp_path / "x.jsonl")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTrainEvaluateRoundtrip:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("cli")
+        data = tmp / "data.jsonl"
+        model_dir = tmp / "model"
+        assert main([
+            "generate", "--dataset", "german", "--n", "100", "--split", "0.2",
+            "--out", str(data),
+        ]) == 0
+        assert main([
+            "train", "--data", str(data), "--out", str(model_dir), "--epochs", "5",
+        ]) == 0
+        return data, model_dir
+
+    def test_model_saved(self, artifacts):
+        _, model_dir = artifacts
+        assert (model_dir / "weights.npz").exists()
+        assert (model_dir / "zigong.json").exists()
+
+    def test_evaluate_prints_metrics(self, artifacts, capsys):
+        data, model_dir = artifacts
+        test_file = data.with_name("data.test.jsonl")
+        assert main(["evaluate", "--model", str(model_dir), "--data", str(test_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Acc" in out and "Miss" in out
+
+    def test_evaluate_missing_model_fails(self, tmp_path, artifacts, capsys):
+        data, _ = artifacts
+        code = main(["evaluate", "--model", str(tmp_path / "ghost"), "--data", str(data)])
+        assert code == 1
+
+
+class TestTable3Command:
+    def test_prints_table(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "LoRA Rank" in out
+        assert "Mistral 7B" in out
+
+
+class TestPipelineCommand:
+    def test_runs_small_pipeline(self, capsys):
+        code = main([
+            "pipeline", "--dataset", "german", "--n", "120", "--epochs", "3",
+            "--strategy", "agent",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pipeline result" in out

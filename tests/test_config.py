@@ -1,0 +1,63 @@
+"""Configuration (Table 3) tests."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.config import PAPER_TABLE3, ZiGongConfig, bench_config, table3_rows
+from repro.config import test_config as make_test_config
+
+
+class TestZiGongConfig:
+    def test_defaults_valid(self):
+        ZiGongConfig()
+
+    def test_invalid_lrs(self):
+        with pytest.raises(ConfigError):
+            ZiGongConfig(base_lr=0.0)
+        with pytest.raises(ConfigError):
+            ZiGongConfig(base_lr=1e-3, min_lr=1e-2)
+
+    def test_with_vocab(self):
+        config = make_test_config().with_vocab(321)
+        assert config.model.vocab_size == 321
+
+    def test_presets_build(self):
+        for preset in (make_test_config(), bench_config()):
+            assert preset.model.d_model % preset.model.n_heads == 0
+
+
+class TestTable3:
+    def test_paper_values_preserved(self):
+        """Structural Table-3 choices must match the paper exactly."""
+        config = bench_config()
+        assert config.lora.rank == PAPER_TABLE3["lora_rank"] == 8
+        assert config.lora.alpha == PAPER_TABLE3["lora_alpha"] == 16
+        assert len(config.lora.target_modules) == 3  # {query, key, value}
+        assert config.training.batch_size == PAPER_TABLE3["batch_size"] == 32
+        assert config.training.grad_accum_steps == PAPER_TABLE3["grad_accumulation"] == 4
+
+    def test_rows_cover_all_categories(self):
+        rows = table3_rows(bench_config())
+        categories = {row[0] for row in rows}
+        assert categories == {"Base", "Architecture", "Training"}
+
+    def test_rows_mention_silu_and_cosine(self):
+        rows = table3_rows(bench_config())
+        flattened = " ".join(" ".join(row) for row in rows)
+        assert "SiLU" in flattened
+        assert "Cosine Decay" in flattened
+        assert "AdamW" in flattened
+
+    def test_repro_column_tracks_config(self):
+        config = bench_config()
+        custom = dataclasses.replace(
+            config, lora=dataclasses.replace(config.lora, rank=4)
+        )
+        rows = table3_rows(custom)
+        rank_row = next(r for r in rows if r[1] == "LoRA Rank")
+        assert rank_row[2] == "8"  # paper value unchanged
+        assert rank_row[3] == "4"  # repro value follows config

@@ -1,0 +1,100 @@
+"""Tests for the sentiment and financial-auditing datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.datasets import (
+    SENTIMENT_CLASSES,
+    available_datasets,
+    load_dataset,
+    make_audit,
+    make_sentiment,
+)
+from repro.data import build_sentiment_examples
+
+
+class TestSentimentDataset:
+    def test_shapes_and_classes(self):
+        ds = make_sentiment(n=300, seed=0)
+        assert len(ds) == 300
+        assert set(np.unique(ds.labels)) == {0, 1, 2}
+        assert ds.label_text(0) in SENTIMENT_CLASSES
+
+    def test_deterministic(self):
+        a = make_sentiment(n=50, seed=3)
+        b = make_sentiment(n=50, seed=3)
+        assert a.texts == b.texts
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_headline_structure(self):
+        ds = make_sentiment(n=20, seed=0)
+        for text in ds.texts:
+            assert "shares" in text
+            assert "after" in text
+
+    def test_lexicon_matches_label_without_noise(self):
+        from repro.datasets.sentiment import _VERBS
+
+        ds = make_sentiment(n=200, seed=0, noise=0.0)
+        for text, label in zip(ds.texts, ds.labels):
+            verb = text.split()[2]
+            assert verb in _VERBS[SENTIMENT_CLASSES[label]]
+
+    def test_noise_rate_validation(self):
+        with pytest.raises(DataError):
+            make_sentiment(noise=1.0)
+
+    def test_signal_learnable(self):
+        """A bag-of-words model must classify sentiment well."""
+        from repro.ml import HashingVectorizer, LogisticRegression
+
+        ds = make_sentiment(n=600, seed=0, noise=0.05)
+        X = HashingVectorizer(n_features=128).transform(ds.texts)
+        # One-vs-rest on "good": binary view is enough to verify signal.
+        y = (ds.labels == 2).astype(np.int64)
+        model = LogisticRegression().fit(X[:400], y[:400])
+        acc = (model.predict(X[400:]) == y[400:]).mean()
+        assert acc > 0.85
+
+    def test_examples_use_sentiment_template(self):
+        ds = make_sentiment(n=10, seed=0)
+        examples = build_sentiment_examples(ds)
+        assert len(examples) == 10
+        assert "what is the sentiment" in examples[0].prompt
+        assert examples[0].answer in SENTIMENT_CLASSES
+
+
+class TestAuditDataset:
+    def test_registered(self):
+        assert "financial_audit" in available_datasets()
+        ds = load_dataset("financial_audit", n=100, seed=0)
+        assert ds.task == "financial_auditing"
+
+    def test_irregular_rate(self):
+        ds = make_audit(n=2000, seed=0, irregular_rate=0.12)
+        assert ds.positive_rate == pytest.approx(0.12, abs=0.03)
+
+    def test_red_flags_raise_risk(self):
+        """Duplicate invoices and missing approvals must skew positive."""
+        ds = make_audit(n=3000, seed=0)
+        duplicate = ds.X[:, 6] == 1
+        approved = ds.X[:, 5] == 1
+        assert ds.y[duplicate].mean() > ds.y[~duplicate].mean()
+        assert ds.y[~approved].mean() > ds.y[approved].mean()
+
+    def test_verbalization(self):
+        ds = make_audit(n=50, seed=0)
+        text = ds.row_text(0)
+        assert "duplicate_invoice=" in text
+        assert "has_approval=" in text
+
+    def test_signal_learnable(self):
+        from repro.ml import LogisticRegression
+
+        ds = make_audit(n=800, seed=0)
+        model = LogisticRegression().fit(ds.X, ds.y)
+        acc = (model.predict(ds.X) == ds.y).mean()
+        assert acc > max(ds.positive_rate, 1 - ds.positive_rate) + 0.02

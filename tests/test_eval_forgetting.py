@@ -1,0 +1,142 @@
+"""Catastrophic-forgetting probe and bootstrap CI tests."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.config import test_config as make_test_config
+from repro.core import ZiGong
+from repro.data import build_classification_examples
+from repro.datasets import make_audit, make_german
+from repro.eval import (
+    ConfidenceInterval,
+    ForgettingResult,
+    accuracy,
+    bootstrap_metric,
+    f1_binary,
+    ks_statistic,
+    measure_forgetting,
+)
+
+
+def _fresh_zigong(examples, epochs=6):
+    config = make_test_config()
+    config = dataclasses.replace(
+        config, training=dataclasses.replace(config.training, epochs=epochs), base_lr=5e-3
+    )
+    return ZiGong.from_examples(examples, config=config)
+
+
+class TestForgettingResult:
+    def test_forgetting_is_accuracy_drop(self):
+        result = ForgettingResult(0.8, 0.6, 0.9, 0.0)
+        assert result.forgetting == pytest.approx(0.2)
+
+
+class TestMeasureForgetting:
+    @pytest.fixture(scope="class")
+    def tasks(self):
+        german = make_german(n=160, seed=0)
+        g_train, g_test = german.split(test_fraction=0.25, seed=0)
+        audit = make_audit(n=160, seed=0)
+        a_train, a_test = audit.split(test_fraction=0.25, seed=0)
+        return (
+            build_classification_examples(g_train),
+            build_classification_examples(g_test),
+            build_classification_examples(a_train),
+            build_classification_examples(a_test),
+        )
+
+    def test_sequential_training_runs_and_reports(self, tasks):
+        a_train, a_test, b_train, b_test = tasks
+        zigong = _fresh_zigong(a_train + a_test + b_train + b_test)
+        result = measure_forgetting(zigong, a_train, a_test, b_train, b_test)
+        assert 0.0 <= result.before_accuracy <= 1.0
+        assert 0.0 <= result.after_accuracy <= 1.0
+        assert result.replay_fraction == 0.0
+
+    def test_replay_reduces_forgetting(self, tasks):
+        """The hybrid-mix replay mechanism must not increase forgetting."""
+        a_train, a_test, b_train, b_test = tasks
+        plain = measure_forgetting(
+            _fresh_zigong(a_train + a_test + b_train + b_test),
+            a_train, a_test, b_train, b_test, replay_fraction=0.0,
+        )
+        replayed = measure_forgetting(
+            _fresh_zigong(a_train + a_test + b_train + b_test),
+            a_train, a_test, b_train, b_test, replay_fraction=0.5,
+        )
+        assert replayed.after_accuracy >= plain.after_accuracy - 0.05
+
+    def test_validation(self, tasks):
+        a_train, a_test, b_train, b_test = tasks
+        zigong = _fresh_zigong(a_train)
+        with pytest.raises(EvaluationError):
+            measure_forgetting(zigong, a_train, a_test, b_train, b_test, replay_fraction=1.5)
+        with pytest.raises(EvaluationError):
+            measure_forgetting(zigong, [], a_test, b_train, b_test)
+
+
+class TestBootstrap:
+    def test_point_estimate_matches_metric(self):
+        y = [1, 0, 1, 0, 1, 1]
+        p = [1, 0, 0, 0, 1, 1]
+        ci = bootstrap_metric(accuracy, y, p, n_resamples=200, seed=0)
+        assert ci.point == pytest.approx(accuracy(y, p))
+        assert ci.low <= ci.point <= ci.high
+
+    def test_interval_contains(self):
+        ci = ConfidenceInterval(point=0.5, low=0.4, high=0.6, confidence=0.95)
+        assert 0.45 in ci
+        assert 0.7 not in ci
+        assert ci.width == pytest.approx(0.2)
+
+    def test_more_data_narrows_interval(self):
+        rng = np.random.default_rng(0)
+        y_small = list(rng.integers(0, 2, 30))
+        p_small = list(rng.integers(0, 2, 30))
+        y_big = list(rng.integers(0, 2, 400))
+        p_big = list(rng.integers(0, 2, 400))
+        small = bootstrap_metric(accuracy, y_small, p_small, n_resamples=300, seed=1)
+        big = bootstrap_metric(accuracy, y_big, p_big, n_resamples=300, seed=1)
+        assert big.width < small.width
+
+    def test_f1_bootstrap(self):
+        y = [1, 0, 1, 0] * 10
+        p = [1, 0, 0, 0] * 10
+        ci = bootstrap_metric(f1_binary, y, p, n_resamples=200, seed=2)
+        assert 0.0 <= ci.low <= ci.high <= 1.0
+
+    def test_undefined_resamples_skipped(self):
+        """KS is undefined when a resample has one class; must still work
+        when most resamples are fine."""
+        rng = np.random.default_rng(3)
+        y = list(rng.integers(0, 2, 60))
+        s = list(rng.random(60))
+        ci = bootstrap_metric(ks_statistic, y, s, n_resamples=200, seed=3)
+        assert 0.0 <= ci.low <= ci.high <= 1.0
+
+    def test_mostly_undefined_raises(self):
+        def fragile(y, p):
+            # Defined only on the exact original sample -> ~75% of
+            # resamples are undefined, tripping the coverage guard.
+            if list(y) != [1, 0]:
+                raise EvaluationError("undefined on this resample")
+            return 1.0
+
+        with pytest.raises(EvaluationError):
+            bootstrap_metric(fragile, [1, 0], [0.5, 0.6], n_resamples=100, seed=0)
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            bootstrap_metric(accuracy, [], [])
+        with pytest.raises(EvaluationError):
+            bootstrap_metric(accuracy, [1], [1], confidence=1.0)
+        with pytest.raises(EvaluationError):
+            bootstrap_metric(accuracy, [1], [1], n_resamples=0)
+        with pytest.raises(EvaluationError):
+            bootstrap_metric(accuracy, [1, 0], [1])

@@ -1,0 +1,111 @@
+"""Reason-code explanations and FLOPs estimator tests."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ServingError
+from repro.nn import MistralTiny, ModelConfig, count_parameters, estimate_flops
+from repro.serving import ReasonCode, adverse_action_reasons, reason_codes
+
+
+class _LinearStub:
+    """Score rises with the number of 'bad' risk tokens in the prompt."""
+
+    RISKY = {"late_payments=veryhigh", "cash_advance=high"}
+
+    def score(self, prompt, positive, negative):
+        tokens = set(prompt.split())
+        return 0.2 + 0.3 * len(tokens & self.RISKY)
+
+
+class TestReasonCodes:
+    PROMPT = (
+        "late_payments=veryhigh cash_advance=high repay_ratio=low "
+        "question: will this user default ? answer:"
+    )
+
+    def test_risky_features_get_positive_delta(self):
+        codes = reason_codes(_LinearStub(), self.PROMPT, top_k=3)
+        by_feature = {c.feature: c for c in codes}
+        assert by_feature["late_payments"].delta == pytest.approx(0.3)
+        assert by_feature["cash_advance"].delta == pytest.approx(0.3)
+
+    def test_neutral_feature_has_zero_delta(self):
+        codes = reason_codes(_LinearStub(), self.PROMPT, top_k=3)
+        by_feature = {c.feature: c for c in codes}
+        assert by_feature["repay_ratio"].delta == pytest.approx(0.0)
+
+    def test_sorted_by_magnitude(self):
+        codes = reason_codes(_LinearStub(), self.PROMPT, top_k=3)
+        deltas = [abs(c.delta) for c in codes]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_top_k_truncates(self):
+        codes = reason_codes(_LinearStub(), self.PROMPT, top_k=1)
+        assert len(codes) == 1
+
+    def test_adverse_action_only_positive(self):
+        reasons = adverse_action_reasons(_LinearStub(), self.PROMPT, top_k=5)
+        assert reasons
+        assert all(c.delta > 0 for c in reasons)
+
+    def test_describe_phrasing(self):
+        code = ReasonCode(feature="late_payments", value="veryhigh", delta=0.2)
+        text = code.describe()
+        assert "late_payments=veryhigh" in text
+        assert "raised" in text
+        assert "lowered" in ReasonCode("x", "y", -0.1).describe()
+
+    def test_no_features_raises(self):
+        with pytest.raises(ServingError):
+            reason_codes(_LinearStub(), "question: anything ? answer:")
+
+    def test_invalid_top_k(self):
+        with pytest.raises(ServingError):
+            reason_codes(_LinearStub(), self.PROMPT, top_k=0)
+
+    def test_with_real_model(self, fitted_zigong, german_examples):
+        codes = reason_codes(
+            fitted_zigong.classifier(), german_examples[0].prompt,
+            positive_text="good", negative_text="bad", top_k=3,
+        )
+        assert len(codes) == 3
+        assert all("=" not in c.feature for c in codes)
+
+
+class TestFlops:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            ModelConfig(),
+            ModelConfig(vocab_size=100, d_model=32, n_layers=3, n_heads=4, n_kv_heads=4, d_ff=64),
+            ModelConfig(tie_embeddings=False),
+        ],
+    )
+    def test_parameter_count_exact(self, config):
+        model = MistralTiny(config, rng=0)
+        assert count_parameters(config) == model.num_parameters()
+
+    def test_flops_components_sum(self):
+        estimate = estimate_flops(ModelConfig(), seq_len=64)
+        assert estimate.flops_per_token == (
+            estimate.attention_flops + estimate.ffn_flops + estimate.head_flops
+        )
+
+    def test_sliding_window_caps_attention(self):
+        wide = estimate_flops(ModelConfig(sliding_window=None, max_seq_len=128), seq_len=128)
+        narrow = estimate_flops(ModelConfig(sliding_window=16, max_seq_len=128), seq_len=128)
+        assert narrow.attention_flops < wide.attention_flops
+        assert narrow.ffn_flops == wide.ffn_flops
+
+    def test_tokens_per_second(self):
+        estimate = estimate_flops(ModelConfig())
+        assert estimate.tokens_per_second(estimate.flops_per_token * 10.0) == pytest.approx(10.0)
+
+    def test_flops_grow_with_layers(self):
+        small = estimate_flops(ModelConfig(n_layers=2))
+        big = estimate_flops(ModelConfig(n_layers=4))
+        assert big.flops_per_token > small.flops_per_token

@@ -1,0 +1,123 @@
+"""Behavior Card service tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import BehaviorCardService
+
+
+class _StubClassifier:
+    """Deterministic scorer: P(default) derived from the text length."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def score(self, prompt, positive, negative):
+        self.calls += 1
+        return (len(prompt) % 10) / 10.0 + 0.05
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+@pytest.fixture
+def service():
+    return BehaviorCardService(_StubClassifier(), threshold=0.5, cache_size=4, clock=_Clock())
+
+
+class TestDecisions:
+    def test_decision_fields(self, service):
+        decision = service.decide("u1", "spend=low repay=high")
+        assert decision.user_id == "u1"
+        assert 0.0 <= decision.score <= 1.0
+        assert decision.approved == (decision.score < 0.5)
+        assert decision.threshold == 0.5
+        assert not decision.cached
+
+    def test_empty_text_rejected(self, service):
+        with pytest.raises(ServingError):
+            service.decide("u1", "   ")
+
+    def test_batch(self, service):
+        decisions = service.decide_batch([("u1", "a=1"), ("u2", "b=2")])
+        assert [d.user_id for d in decisions] == ["u1", "u2"]
+
+    def test_invalid_config(self):
+        with pytest.raises(ServingError):
+            BehaviorCardService(_StubClassifier(), threshold=0.0)
+        with pytest.raises(ServingError):
+            BehaviorCardService(_StubClassifier(), cache_size=0)
+
+
+class TestCache:
+    def test_repeat_request_cached(self, service):
+        service.decide("u1", "same=text")
+        second = service.decide("u2", "same=text")
+        assert second.cached
+        assert service.classifier.calls == 1
+
+    def test_cache_eviction_lru(self, service):
+        for i in range(5):  # cache_size=4, first entry evicted
+            service.decide("u", f"text={i}")
+        service.decide("u", "text=0")
+        assert service.classifier.calls == 6  # re-scored after eviction
+
+    def test_cache_hit_rate_stat(self, service):
+        service.decide("u", "x=1")
+        service.decide("u", "x=1")
+        assert service.stats.cache_hit_rate == 0.5
+
+
+class TestAuditLog:
+    def test_every_decision_logged(self, service):
+        service.decide("u1", "a=1")
+        service.decide("u2", "b=2")
+        log = service.audit_log()
+        assert len(log) == 2
+        assert log[0].user_id == "u1"
+        assert log[0].timestamp < log[1].timestamp
+        assert "question:" in log[0].prompt
+
+    def test_cached_decisions_still_logged(self, service):
+        service.decide("u1", "same")
+        service.decide("u2", "same")
+        assert len(service.audit_log()) == 2
+
+    def test_log_is_a_copy(self, service):
+        service.decide("u1", "a=1")
+        service.audit_log().clear()
+        assert len(service.audit_log()) == 1
+
+
+class TestStats:
+    def test_approval_rate(self, service):
+        # Stub scores depend on prompt length; collect a spread.
+        for i in range(10):
+            service.decide("u", f"feature={'x' * i}")
+        stats = service.stats
+        assert stats.requests == 10
+        assert 0.0 <= stats.approval_rate <= 1.0
+
+    def test_zero_requests(self):
+        service = BehaviorCardService(_StubClassifier())
+        assert service.stats.approval_rate == 0.0
+        assert service.stats.cache_hit_rate == 0.0
+
+
+class TestEndToEndWithModel:
+    def test_with_fitted_zigong(self, fitted_zigong):
+        from repro.datasets import make_behavior
+
+        service = BehaviorCardService(fitted_zigong.classifier(), threshold=0.5)
+        ds = make_behavior(n_users=3, n_periods=2, seed=0)
+        decision = service.decide("user0", ds.row_text(0, 1))
+        assert 0.0 <= decision.score <= 1.0
+        assert len(service.audit_log()) == 1

@@ -1,0 +1,132 @@
+"""Tests for PSI drift monitoring and shadow deployments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    DriftMonitor,
+    ShadowDeployment,
+    population_stability_index,
+)
+
+
+class TestPSI:
+    def test_identical_distributions_near_zero(self):
+        rng = np.random.default_rng(0)
+        ref = rng.random(2000)
+        live = rng.random(2000)
+        assert population_stability_index(ref, live) < 0.02
+
+    def test_shifted_distribution_large(self):
+        rng = np.random.default_rng(0)
+        ref = rng.normal(0.3, 0.05, 2000).clip(0, 1)
+        live = rng.normal(0.7, 0.05, 2000).clip(0, 1)
+        assert population_stability_index(ref, live) > 0.25
+
+    def test_symmetric_in_magnitude(self):
+        """PSI(a, b) and PSI(b, a) are both large for a real shift."""
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.3, 0.1, 1000).clip(0, 1)
+        b = rng.normal(0.6, 0.1, 1000).clip(0, 1)
+        assert population_stability_index(a, b) > 0.1
+        assert population_stability_index(b, a) > 0.1
+
+    def test_too_few_points_raise(self):
+        with pytest.raises(ServingError):
+            population_stability_index(np.ones(3), np.ones(5))
+        with pytest.raises(ServingError):
+            population_stability_index(np.linspace(0, 1, 50), np.array([]))
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            ref = rng.random(200)
+            live = rng.random(50)
+            assert population_stability_index(ref, live) >= 0.0
+
+
+class TestDriftMonitor:
+    def _reference(self, seed=0, n=500):
+        return np.random.default_rng(seed).beta(2, 5, n)
+
+    def test_stable_when_same_distribution(self):
+        monitor = DriftMonitor(self._reference(), window=300)
+        for s in np.random.default_rng(1).beta(2, 5, 300):
+            monitor.observe(s)
+        assert monitor.status() == "stable"
+
+    def test_drift_detected_on_shift(self):
+        monitor = DriftMonitor(self._reference(), window=300)
+        for s in np.random.default_rng(1).beta(5, 2, 300):  # flipped shape
+            monitor.observe(s)
+        assert monitor.status() == "drift"
+        assert monitor.psi() > 0.25
+
+    def test_window_rolls(self):
+        monitor = DriftMonitor(self._reference(), window=10)
+        for s in np.linspace(0, 1, 25):
+            monitor.observe(s)
+        assert monitor.n_observed == 10
+
+    def test_psi_before_observations_raises(self):
+        monitor = DriftMonitor(self._reference())
+        with pytest.raises(ServingError):
+            monitor.psi()
+
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            DriftMonitor(np.ones(3))
+        with pytest.raises(ServingError):
+            DriftMonitor(self._reference(), window=0)
+
+
+class _ScoreStub:
+    def __init__(self, offset):
+        self.offset = offset
+
+    def score(self, prompt, positive, negative):
+        return min(1.0, (len(prompt) % 10) / 10.0 + self.offset)
+
+
+class TestShadowDeployment:
+    def test_returns_primary_score(self):
+        shadow = ShadowDeployment(_ScoreStub(0.0), _ScoreStub(0.5))
+        value = shadow.score("abcd")
+        assert value == pytest.approx(0.4)
+        assert shadow.n_requests == 1
+
+    def test_agreement_rate(self):
+        shadow = ShadowDeployment(_ScoreStub(0.0), _ScoreStub(0.0))
+        for i in range(10):
+            shadow.score("x" * i)
+        assert shadow.agreement_rate() == 1.0
+        assert shadow.disagreements() == []
+
+    def test_disagreements_found(self):
+        # Primary low, shadow shifted above the 0.5 decision line.
+        shadow = ShadowDeployment(_ScoreStub(0.0), _ScoreStub(0.6))
+        shadow.score("ab")  # primary 0.2 -> 0 ; shadow 0.8 -> 1
+        assert shadow.agreement_rate() == 0.0
+        assert len(shadow.disagreements()) == 1
+
+    def test_correlation_of_identical_models(self):
+        shadow = ShadowDeployment(_ScoreStub(0.0), _ScoreStub(0.0))
+        for i in range(12):
+            shadow.score("y" * i)
+        assert shadow.score_correlation() == pytest.approx(1.0)
+
+    def test_errors_without_traffic(self):
+        shadow = ShadowDeployment(_ScoreStub(0.0), _ScoreStub(0.0))
+        with pytest.raises(ServingError):
+            shadow.agreement_rate()
+        with pytest.raises(ServingError):
+            shadow.score_correlation()
+
+    def test_records_are_copies(self):
+        shadow = ShadowDeployment(_ScoreStub(0.0), _ScoreStub(0.0))
+        shadow.score("abc")
+        shadow.records().clear()
+        assert shadow.n_requests == 1

@@ -1,0 +1,150 @@
+"""Split helpers and WoE/IV tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.data import (
+    InstructExample,
+    split_by_group,
+    split_by_time,
+    stratified_split,
+)
+from repro.datasets import make_german
+from repro.ml import dataset_iv, woe_iv
+
+
+def ex(prompt, label=1, timestamp=0.0, user=0):
+    return InstructExample(
+        prompt=prompt, answer="yes" if label else "no", label=label,
+        timestamp=timestamp, meta={"user": user},
+    )
+
+
+class TestSplitByTime:
+    def test_partitions_on_cutoff(self):
+        examples = [ex(f"p{i}", timestamp=float(i)) for i in range(6)]
+        past, future = split_by_time(examples, cutoff=3.0)
+        assert [e.timestamp for e in past] == [0.0, 1.0, 2.0]
+        assert all(e.timestamp >= 3.0 for e in future)
+
+    def test_degenerate_cutoff_raises(self):
+        examples = [ex("p", timestamp=1.0)]
+        with pytest.raises(DataError):
+            split_by_time(examples, cutoff=0.0)
+        with pytest.raises(DataError):
+            split_by_time([], cutoff=1.0)
+
+
+class TestSplitByGroup:
+    def _examples(self, n_users=10, per_user=4):
+        return [
+            ex(f"u{u}-{i}", label=u % 2, user=u)
+            for u in range(n_users)
+            for i in range(per_user)
+        ]
+
+    def test_no_group_overlap(self):
+        examples = self._examples()
+        train, test = split_by_group(examples, lambda e: e.meta["user"], 0.3, seed=0)
+        train_users = {e.meta["user"] for e in train}
+        test_users = {e.meta["user"] for e in test}
+        assert train_users.isdisjoint(test_users)
+        assert len(train) + len(test) == len(examples)
+
+    def test_test_fraction_respected_roughly(self):
+        examples = self._examples(n_users=20)
+        _, test = split_by_group(examples, lambda e: e.meta["user"], 0.25, seed=1)
+        assert 0.15 <= len(test) / len(examples) <= 0.45
+
+    def test_seeded(self):
+        examples = self._examples()
+        a = split_by_group(examples, lambda e: e.meta["user"], 0.3, seed=5)
+        b = split_by_group(examples, lambda e: e.meta["user"], 0.3, seed=5)
+        assert a == b
+
+    def test_single_group_raises(self):
+        with pytest.raises(DataError):
+            split_by_group([ex("a"), ex("b")], lambda e: 0, 0.5)
+
+    def test_never_empties_train(self):
+        examples = self._examples(n_users=2)
+        train, test = split_by_group(examples, lambda e: e.meta["user"], 0.9, seed=0)
+        assert train and test
+
+
+class TestStratifiedSplit:
+    def test_class_mix_preserved(self):
+        examples = [ex(f"p{i}", label=int(i < 20)) for i in range(100)]
+        train, test = stratified_split(examples, 0.2, seed=0)
+        train_rate = np.mean([e.label for e in train])
+        test_rate = np.mean([e.label for e in test])
+        assert abs(train_rate - test_rate) < 0.05
+
+    def test_every_class_in_test(self):
+        examples = [ex(f"p{i}", label=i % 2) for i in range(10)]
+        _, test = stratified_split(examples, 0.2, seed=0)
+        assert {e.label for e in test} == {0, 1}
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            stratified_split([], 0.2)
+        with pytest.raises(DataError):
+            stratified_split([ex("p")], 0.0)
+
+
+class TestWoeIV:
+    def test_predictive_feature_has_high_iv(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 2000)
+        strong = y * 2.0 + rng.normal(0, 0.3, 2000)
+        noise = rng.normal(0, 1, 2000)
+        iv_strong = woe_iv(strong, y).iv
+        iv_noise = woe_iv(noise, y).iv
+        assert iv_strong > 0.5
+        assert iv_noise < 0.05
+        assert iv_strong > iv_noise
+
+    def test_woe_signs(self):
+        """Bins dominated by goods get positive WoE."""
+        y = np.array([1] * 50 + [0] * 50)
+        values = np.array([1.0] * 50 + [0.0] * 50)  # two distinct values
+        result = woe_iv(values, y)
+        by_label = {b.label: b for b in result.bins}
+        assert by_label["=1"].woe > 0
+        assert by_label["=0"].woe < 0
+
+    def test_strength_bands(self):
+        from repro.ml import FeatureIV
+
+        assert FeatureIV("f", 0.01, ()).strength == "useless"
+        assert FeatureIV("f", 0.05, ()).strength == "weak"
+        assert FeatureIV("f", 0.2, ()).strength == "medium"
+        assert FeatureIV("f", 0.4, ()).strength == "strong"
+        assert FeatureIV("f", 0.9, ()).strength == "suspicious"
+
+    def test_categorical_small_cardinality_binned_exactly(self):
+        y = np.array([0, 1, 0, 1, 0, 1])
+        values = np.array([0.0, 1.0, 0.0, 1.0, 2.0, 2.0])
+        result = woe_iv(values, y, n_bins=5)
+        assert len(result.bins) == 3
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            woe_iv(np.array([]), np.array([]))
+        with pytest.raises(DataError):
+            woe_iv(np.ones(3), np.ones(3))  # single class
+        with pytest.raises(DataError):
+            woe_iv(np.ones(3), np.array([0, 1]))
+
+    def test_dataset_iv_sorted_and_sensible(self):
+        dataset = make_german(n=600, seed=0)
+        results = dataset_iv(dataset)
+        assert len(results) == len(dataset.features)
+        ivs = [r.iv for r in results]
+        assert ivs == sorted(ivs, reverse=True)
+        names = [r.feature for r in results]
+        # checking_status and savings are the strongest generative drivers.
+        assert "checking_status" in names[:4]
