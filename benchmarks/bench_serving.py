@@ -1,0 +1,113 @@
+"""P2: serving-engine throughput — single-request loop vs micro-batches.
+
+Not a paper table; quantifies what the Behavior Card service's
+micro-batching engine buys (DESIGN.md; the paper's deployment surface).
+One padded forward pass over a batch amortizes the per-call overhead of
+the numpy substrate, so requests/second should scale well past the
+single-request loop — the same effect production stacks (Xinference,
+vLLM) rely on.  Asserts the ISSUE-1 acceptance claim: micro-batched
+throughput >= 3x single-request at batch size >= 8.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.serving import BehaviorCardConfig, BehaviorCardService, ScoreRequest
+
+from conftest import save_result, synthetic_traffic, train_plain
+
+N_REQUESTS = 64
+BATCH_SIZES = (8, 16)
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    """A quickly fine-tuned operational model (scores are irrelevant here)."""
+    from repro.data import build_behavior_examples
+    from repro.datasets import make_behavior
+
+    examples = build_behavior_examples(make_behavior(n_users=24, n_periods=2, seed=0))
+    return train_plain(examples, epochs=2).classifier()
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    return [
+        ScoreRequest(user_id, text)
+        for user_id, text in synthetic_traffic(N_REQUESTS)
+    ]
+
+
+def _requests_per_second(fn, n_requests: int) -> float:
+    start = time.perf_counter()
+    fn()
+    return n_requests / (time.perf_counter() - start)
+
+
+def _single_loop_rps(classifier, traffic) -> float:
+    service = BehaviorCardService(classifier, BehaviorCardConfig(cache_size=4096))
+
+    def run():
+        for request in traffic:
+            service.decide(request.user_id, request.behavior_text)
+
+    return _requests_per_second(run, len(traffic))
+
+
+def _batched_rps(classifier, traffic, max_batch_size: int) -> float:
+    service = BehaviorCardService(
+        classifier,
+        BehaviorCardConfig(cache_size=4096, max_batch_size=max_batch_size,
+                           queue_capacity=max(64, len(traffic))),
+    )
+    return _requests_per_second(
+        lambda: service.score_requests(traffic), len(traffic)
+    )
+
+
+def test_micro_batching_throughput(benchmark, classifier, traffic):
+    single_rps = _single_loop_rps(classifier, traffic)
+    batched_rps = {b: _batched_rps(classifier, traffic, b) for b in BATCH_SIZES}
+
+    benchmark(lambda: _batched_rps(classifier, traffic, BATCH_SIZES[0]))
+    benchmark.extra_info["requests_per_call"] = len(traffic)
+
+    lines = [
+        f"serving throughput on {len(traffic)} synthetic requests (distinct texts)",
+        "",
+        f"{'mode':>24}  {'req/s':>10}  {'speedup':>8}",
+        f"{'single-request loop':>24}  {single_rps:>10.1f}  {1.0:>8.2f}x",
+    ]
+    for batch_size, rps in batched_rps.items():
+        lines.append(
+            f"{f'micro-batch (B={batch_size})':>24}  {rps:>10.1f}  "
+            f"{rps / single_rps:>8.2f}x"
+        )
+    save_result("serving", "\n".join(lines))
+
+    # The acceptance claim: batching amortizes per-request overhead >= 3x.
+    for batch_size, rps in batched_rps.items():
+        assert rps >= 3.0 * single_rps, (
+            f"micro-batch B={batch_size} only {rps / single_rps:.2f}x "
+            f"single-request throughput"
+        )
+
+
+def test_engine_accounting_under_load(classifier, traffic):
+    """Batched traffic leaves the same audit/stats trail as sequential."""
+    service = BehaviorCardService(
+        classifier,
+        BehaviorCardConfig(cache_size=4096, max_batch_size=8,
+                           queue_capacity=len(traffic)),
+    )
+    results = service.score_requests(traffic)
+    assert len(results) == len(traffic)
+    assert service.stats.requests == len(traffic)
+    assert len(service.audit_log()) == len(traffic)
+    stats = service.engine.stats
+    assert stats.completed == len(traffic)
+    assert stats.batches == -(-len(traffic) // 8)  # ceil division
+    assert stats.mean_batch_size == pytest.approx(8.0)

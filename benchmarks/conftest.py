@@ -84,6 +84,24 @@ def mismatch_answers(examples) -> list[InstructExample]:
     return swapped
 
 
+def synthetic_traffic(n_requests: int, seed: int = SEED) -> list[tuple[str, str]]:
+    """Synthetic Behavior-Card traffic: ``(user_id, behavior_text)`` pairs.
+
+    Every text is distinct so serving benchmarks (``bench_serving.py``)
+    measure the scoring path, not the response cache.
+    """
+    from repro.datasets import make_behavior
+
+    n_users = max(1, (n_requests + 1) // 2)
+    dataset = make_behavior(n_users=n_users, n_periods=2, seed=seed)
+    traffic = [
+        (f"user-{user:04d}-p{period}", dataset.row_text(user, period))
+        for user in range(dataset.n_users)
+        for period in range(dataset.n_periods)
+    ]
+    return traffic[:n_requests]
+
+
 def behavior_eval_samples(examples) -> list[EvalSample]:
     return [
         EvalSample(prompt=e.prompt, label=e.label, positive_text="yes", negative_text="no")

@@ -15,7 +15,7 @@ from repro.core import ZiGong
 from repro.data import build_behavior_examples
 from repro.datasets import make_behavior
 from repro.data.templates import CLASSIFICATION_TEMPLATE as CLASSIFICATION_PROMPT
-from repro.serving import BehaviorCardService
+from repro.serving import BehaviorCardConfig, BehaviorCardService, ScoreRequest
 
 SEED = 0
 
@@ -32,18 +32,30 @@ def main() -> None:
     zigong.finetune(examples)
     print(f"operational model trained on {len(examples)} behavior windows")
 
-    # Stand up the Behavior Card service.
-    service = BehaviorCardService(zigong.classifier(), threshold=0.5, cache_size=64)
+    # Stand up the Behavior Card service behind the micro-batching engine.
+    serving_config = BehaviorCardConfig(threshold=0.5, cache_size=64,
+                                        max_batch_size=4, queue_capacity=32)
+    service = BehaviorCardService(
+        zigong.classifier(), serving_config,
+        fallback_scorer=lambda text: 0.9,  # conservative degraded-mode score
+    )
 
-    # Incoming loan applications: score each user's latest behavior window.
+    # Incoming loan applications: the engine scores each micro-batch of
+    # applicants in one padded forward pass.
     fresh = make_behavior(n_users=10, n_periods=4, seed=SEED + 1)
     last = fresh.n_periods - 1
-    print("\nincoming decisions:")
-    for user in range(fresh.n_users):
-        text = fresh.row_text(user, last)
-        decision = service.decide(f"user-{user:03d}", text)
-        verdict = "APPROVE" if decision.approved else "DECLINE"
-        print(f"  user-{user:03d}  P(default)={decision.score:.3f}  -> {verdict}")
+    requests = [
+        ScoreRequest(f"user-{user:03d}", fresh.row_text(user, last))
+        for user in range(fresh.n_users)
+    ]
+    print("\nincoming decisions (micro-batched):")
+    for result in service.score_requests(requests):
+        verdict = "APPROVE" if result.approved else "DECLINE"
+        print(f"  {result.user_id}  P(default)={result.score:.3f}  -> {verdict}  "
+              f"(batch of {result.batch_size})")
+    engine_stats = service.engine.stats
+    print(f"engine: batches={engine_stats.batches}  "
+          f"mean_batch_size={engine_stats.mean_batch_size:.1f}")
 
     # A repeat request for user 0 hits the cache.
     repeat = service.decide("user-000", fresh.row_text(0, last))
@@ -61,17 +73,23 @@ def main() -> None:
     # --- Production monitoring ----------------------------------------
     from repro.serving import DriftMonitor, ShadowDeployment
 
-    # PSI drift monitor: reference = scores on the training-time cohort.
+    # PSI drift monitor: reference = scores on the training-time cohort
+    # (scored through the engine's batched path, like live traffic).
     reference = [
-        service.decide(f"ref-{u}", history_data.row_text(u, last)).score
-        for u in range(history_data.n_users)
+        r.score
+        for r in service.score_requests([
+            ScoreRequest(f"ref-{u}", history_data.row_text(u, last))
+            for u in range(history_data.n_users)
+        ])
     ]
     monitor = DriftMonitor(reference, window=200)
     drifted = make_behavior(n_users=40, n_periods=4, seed=SEED + 2,
                             default_rate=0.55)  # a riskier cohort arrives
-    for user in range(drifted.n_users):
-        decision = service.decide(f"new-{user}", drifted.row_text(user, last))
-        monitor.observe(decision.score)
+    live = service.score_requests([
+        ScoreRequest(f"new-{user}", drifted.row_text(user, last))
+        for user in range(drifted.n_users)
+    ])
+    monitor.observe_many([r.score for r in live])
     print(f"\ndrift monitor after risky cohort: PSI={monitor.psi():.3f} "
           f"status={monitor.status()}")
 

@@ -20,6 +20,13 @@ from repro.core import (
     ZiGongPipeline,
 )
 from repro.influence import TracInCP, TracSeq
+from repro.serving import (
+    BehaviorCardConfig,
+    BehaviorCardService,
+    MicroBatchEngine,
+    ScoreRequest,
+    ScoreResult,
+)
 
 __version__ = "1.0.0"
 
@@ -33,6 +40,11 @@ __all__ = [
     "PrunerConfig",
     "TracInCP",
     "TracSeq",
+    "BehaviorCardService",
+    "BehaviorCardConfig",
+    "MicroBatchEngine",
+    "ScoreRequest",
+    "ScoreResult",
     "ZiGongConfig",
     "test_config",
     "bench_config",

@@ -81,12 +81,11 @@ class LMClassifier(CreditModel):
             raise EvaluationError("score_batch() received no prompts")
         from repro.tensor import no_grad
 
+        from repro.nn.classifier import pad_sequences
+
         rows = [self._prompt_ids(p) for p in prompts]
         lengths = np.array([len(r) for r in rows])
-        width = int(lengths.max())
-        batch = np.full((len(rows), width), self.tokenizer.pad_id, dtype=np.int64)
-        for i, row in enumerate(rows):
-            batch[i, : len(row)] = row
+        batch = pad_sequences(rows, pad_id=self.tokenizer.pad_id)
         was_training = self.model.training
         self.model.eval()
         try:

@@ -135,6 +135,21 @@ class ZiGong:
         """Generate an answer for a raw prompt string."""
         return self.classifier().generate_answer(prompt)
 
+    def score_batch(
+        self,
+        prompts: Sequence[str],
+        positive_text: str = "yes",
+        negative_text: str = "no",
+    ) -> np.ndarray:
+        """P(positive) for many prompts in one padded, masked forward pass.
+
+        The batched scoring path behind the serving engine's micro-batches:
+        prompts of unequal length are right-padded together and each row's
+        score reads from its own last real position, so results match
+        per-prompt ``classifier().score`` calls.
+        """
+        return self.classifier().score_batch(list(prompts), positive_text, negative_text)
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------

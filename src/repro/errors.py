@@ -46,3 +46,15 @@ class EvaluationError(ReproError):
 
 class ServingError(ReproError):
     """Behavior Card serving failure."""
+
+
+class QueueFullError(ServingError):
+    """The serving engine's bounded request queue rejected an admission.
+
+    Raised synchronously by :meth:`repro.serving.MicroBatchEngine.submit`
+    so callers can shed load (backpressure) instead of queueing unboundedly.
+    """
+
+
+class DeadlineExceededError(ServingError):
+    """A queued request's deadline passed before it could be scored."""

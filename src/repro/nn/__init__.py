@@ -7,7 +7,7 @@ from repro.nn.attention import MultiHeadAttention, rect_attention_mask, sliding_
 from repro.nn.cache import KVCache, LayerKVCache
 from repro.nn.mlp import MLP, SwiGLU
 from repro.nn.transformer import MistralTiny, ModelConfig, TransformerBlock
-from repro.nn.classifier import SequenceClassifier
+from repro.nn.classifier import SequenceClassifier, pad_sequences
 from repro.nn.flops import FlopsEstimate, count_parameters, estimate_flops
 from repro.nn.generation import GenerationConfig, generate, next_token_logits
 
@@ -32,6 +32,7 @@ __all__ = [
     "TransformerBlock",
     "MistralTiny",
     "SequenceClassifier",
+    "pad_sequences",
     "GenerationConfig",
     "generate",
     "next_token_logits",

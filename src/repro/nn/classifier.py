@@ -23,6 +23,25 @@ from repro.nn.transformer import MistralTiny, ModelConfig
 from repro.optim.adamw import AdamW
 
 
+def pad_sequences(sequences: Sequence[Sequence[int]], pad_id: int = 0) -> np.ndarray:
+    """Right-pad ragged token sequences into one ``(batch, width)`` array.
+
+    The companion of every batched scoring path: padding positions carry
+    ``pad_id`` and are masked out downstream (mean-pooling here, causal
+    attention plus last-real-position indexing in the LM path), so a
+    padded batch scores identically to one-at-a-time calls.
+    """
+    if not sequences:
+        raise ShapeError("pad_sequences() received no sequences")
+    if any(len(seq) == 0 for seq in sequences):
+        raise ShapeError("pad_sequences() received an empty sequence")
+    width = max(len(seq) for seq in sequences)
+    batch = np.full((len(sequences), width), pad_id, dtype=np.int64)
+    for row, seq in enumerate(sequences):
+        batch[row, : len(seq)] = seq
+    return batch
+
+
 class SequenceClassifier(Module):
     """Backbone + mean-pool + linear head -> P(positive)."""
 
@@ -71,6 +90,17 @@ class SequenceClassifier(Module):
                 self.train()
         return 1.0 / (1.0 + np.exp(-z.data))
 
+    def predict_proba_sequences(
+        self, token_sequences: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        """P(positive) for ragged token sequences in one padded forward pass.
+
+        Sequences of unequal length are right-padded with ``self.pad_id``
+        and masked together; equivalent to calling :meth:`predict_proba`
+        per sequence at a fraction of the cost.
+        """
+        return self.predict_proba(pad_sequences(token_sequences, pad_id=self.pad_id))
+
     def fit(
         self,
         token_sequences: Sequence[list[int]],
@@ -98,11 +128,7 @@ class SequenceClassifier(Module):
             epoch_losses = []
             for start in range(0, len(order), batch_size):
                 idx = order[start : start + batch_size]
-                batch_seqs = [token_sequences[i] for i in idx]
-                width = max(len(s) for s in batch_seqs)
-                batch = np.full((len(idx), width), pad_id, dtype=np.int64)
-                for row, seq in enumerate(batch_seqs):
-                    batch[row, : len(seq)] = seq
+                batch = pad_sequences([token_sequences[i] for i in idx], pad_id=pad_id)
                 optimizer.zero_grad()
                 loss = self.loss(batch, labels[idx])
                 loss.backward()

@@ -1,10 +1,19 @@
-"""Serving layer: the Behavior Card service plus production monitoring."""
+"""Serving layer: the Behavior Card service, micro-batching engine, monitoring."""
 
 from repro.serving.behavior_card import (
     AuditEntry,
+    BehaviorCardConfig,
     BehaviorCardDecision,
     BehaviorCardService,
     ServiceStats,
+)
+from repro.serving.engine import (
+    EngineConfig,
+    EngineStats,
+    MicroBatchEngine,
+    PendingResult,
+    ScoreRequest,
+    ScoreResult,
 )
 from repro.serving.explain import ReasonCode, adverse_action_reasons, reason_codes
 from repro.serving.scorecard import ScorecardScaler
@@ -19,9 +28,16 @@ from repro.serving.monitoring import (
 
 __all__ = [
     "BehaviorCardService",
+    "BehaviorCardConfig",
     "BehaviorCardDecision",
     "AuditEntry",
     "ServiceStats",
+    "MicroBatchEngine",
+    "EngineConfig",
+    "EngineStats",
+    "PendingResult",
+    "ScoreRequest",
+    "ScoreResult",
     "population_stability_index",
     "DriftMonitor",
     "ShadowDeployment",

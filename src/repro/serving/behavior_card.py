@@ -7,24 +7,86 @@ The service wraps a fine-tuned classifier: behavior text in, default
 probability and approve/decline decision out, with an LRU response
 cache and an append-only audit log (both regulatory table stakes for
 credit decisioning).
+
+Traffic flows through a :class:`~repro.serving.engine.MicroBatchEngine`:
+requests are admitted to a bounded queue, assembled into dynamic
+micro-batches and scored through one padded forward pass, with
+backpressure (:class:`~repro.errors.QueueFullError`), per-request
+deadlines and an optional degraded-mode fallback scorer.  The cache,
+audit log, stats and drift monitoring all sit inside the batch path, so
+batched and single-request traffic observe identical semantics.
+
+API (see ``docs/serving.md``)::
+
+    config = BehaviorCardConfig(threshold=0.5, max_batch_size=8)
+    service = BehaviorCardService(zigong.classifier(), config)
+    results = service.score_requests([ScoreRequest("u1", "spend=low ...")])
+
+The pre-engine surface — loose ``threshold=...`` kwargs and
+``decide_batch([(user_id, text), ...])`` tuples — still works through
+thin deprecation shims.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
 
 from repro.errors import ServingError
 from repro.data.templates import CLASSIFICATION_TEMPLATE
+from repro.serving.engine import (
+    EngineConfig,
+    MicroBatchEngine,
+    ScoreRequest,
+    ScoreResult,
+)
 
 DEFAULT_QUESTION = "will this user default on their loan"
 
 
 @dataclass(frozen=True)
+class BehaviorCardConfig:
+    """All serving knobs in one (validated, immutable) place.
+
+    threshold:
+        Approve when P(default) is strictly below this value.
+    cache_size:
+        Maximum number of cached (behavior text -> score) entries.
+    question:
+        The classification question templated into every prompt.
+    max_batch_size / max_wait_s / queue_capacity:
+        Micro-batching engine knobs; see
+        :class:`~repro.serving.engine.EngineConfig`.
+    """
+
+    threshold: float = 0.5
+    cache_size: int = 1024
+    question: str = DEFAULT_QUESTION
+    max_batch_size: int = 8
+    max_wait_s: float = 0.005
+    queue_capacity: int = 64
+
+    def __post_init__(self):
+        if not 0.0 < self.threshold < 1.0:
+            raise ServingError(f"threshold must be in (0, 1), got {self.threshold}")
+        if self.cache_size <= 0:
+            raise ServingError(f"cache_size must be positive, got {self.cache_size}")
+        self.engine_config()  # validate the engine knobs eagerly too
+
+    def engine_config(self) -> EngineConfig:
+        return EngineConfig(
+            max_batch_size=self.max_batch_size,
+            max_wait_s=self.max_wait_s,
+            queue_capacity=self.queue_capacity,
+        )
+
+
+@dataclass(frozen=True)
 class BehaviorCardDecision:
-    """Outcome of one scoring request."""
+    """Outcome of one scoring request (legacy response shape)."""
 
     user_id: str
     score: float  # P(default)
@@ -42,6 +104,7 @@ class AuditEntry:
     score: float
     approved: bool
     prompt: str
+    degraded: bool = False
 
 
 @dataclass
@@ -49,6 +112,7 @@ class ServiceStats:
     requests: int = 0
     cache_hits: int = 0
     approvals: int = 0
+    degraded: int = 0
 
     @property
     def approval_rate(self) -> float:
@@ -58,6 +122,10 @@ class ServiceStats:
     def cache_hit_rate(self) -> float:
         return self.cache_hits / self.requests if self.requests else 0.0
 
+    @property
+    def degraded_rate(self) -> float:
+        return self.degraded / self.requests if self.requests else 0.0
+
 
 class BehaviorCardService:
     """Loan-decision scoring service backed by a ZiGong classifier.
@@ -66,60 +134,140 @@ class BehaviorCardService:
     ----------
     classifier:
         An :class:`~repro.baselines.lm.LMClassifier` (or anything with a
-        compatible ``score(prompt, positive, negative)`` method).
-    threshold:
-        Approve when P(default) is strictly below this value.
-    cache_size:
-        Maximum number of cached (behavior text -> score) entries.
+        compatible ``score(prompt, positive, negative)`` method; a
+        ``score_batch(prompts, positive, negative)`` method, when
+        present, is used for one-forward-pass micro-batches).
+    config:
+        A :class:`BehaviorCardConfig`.  Loose ``threshold=`` /
+        ``cache_size=`` / ``question=`` keyword arguments are still
+        accepted as a deprecated shim and fold into the config.
     clock:
-        Injected time source for deterministic tests.
+        Injected time source — audit timestamps and queue deadlines are
+        deterministic under test.
+    fallback_scorer:
+        Optional ``behavior_text -> P(default)`` callable for degraded
+        mode: when the model path raises, batches are re-scored through
+        it (results and audit entries flagged ``degraded``) so the
+        service keeps answering.
     """
 
     def __init__(
         self,
         classifier,
-        threshold: float = 0.5,
-        cache_size: int = 1024,
-        question: str = DEFAULT_QUESTION,
+        config: BehaviorCardConfig | float | None = None,
+        *,
+        threshold: float | None = None,
+        cache_size: int | None = None,
+        question: str | None = None,
         clock: Callable[[], float] = time.time,
+        fallback_scorer: Callable[[str], float] | None = None,
     ):
-        if not 0.0 < threshold < 1.0:
-            raise ServingError(f"threshold must be in (0, 1), got {threshold}")
-        if cache_size <= 0:
-            raise ServingError(f"cache_size must be positive, got {cache_size}")
+        if isinstance(config, (int, float)):
+            warnings.warn(
+                "passing threshold positionally is deprecated; "
+                "use BehaviorCardConfig(threshold=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            threshold = float(config)
+            config = None
+        legacy = {
+            key: value
+            for key, value in (
+                ("threshold", threshold),
+                ("cache_size", cache_size),
+                ("question", question),
+            )
+            if value is not None
+        }
+        if config is None:
+            config = BehaviorCardConfig(**legacy)
+        elif legacy:
+            warnings.warn(
+                "loose keyword arguments are deprecated; "
+                "pass a BehaviorCardConfig instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = replace(config, **legacy)
         self.classifier = classifier
-        self.threshold = threshold
-        self.question = question
+        self.config = config
         self._clock = clock
+        self._fallback = fallback_scorer
         self._cache: OrderedDict[str, float] = OrderedDict()
-        self._cache_size = cache_size
         self._audit: list[AuditEntry] = []
         self.stats = ServiceStats()
+        self.engine = MicroBatchEngine(
+            batch_fn=self._score_batch_fn,
+            config=config.engine_config(),
+            fallback_fn=self._fallback_batch_fn if fallback_scorer is not None else None,
+            clock=clock,
+        )
+
+    # Legacy attribute views (pre-config-object callers read these).
+    @property
+    def threshold(self) -> float:
+        return self.config.threshold
+
+    @property
+    def question(self) -> str:
+        return self.config.question
+
+    # ------------------------------------------------------------------
+    # Scoring internals (these run *inside* the engine's batch path)
+    # ------------------------------------------------------------------
 
     def _prompt(self, behavior_text: str) -> str:
-        return CLASSIFICATION_TEMPLATE.format(sentence=behavior_text, question=self.question)
+        return CLASSIFICATION_TEMPLATE.format(sentence=behavior_text, question=self.config.question)
 
-    def _score(self, behavior_text: str) -> tuple[float, bool]:
-        cached = behavior_text in self._cache
-        if cached:
-            self._cache.move_to_end(behavior_text)
-            score = self._cache[behavior_text]
-        else:
-            score = float(self.classifier.score(self._prompt(behavior_text), "yes", "no"))
-            self._cache[behavior_text] = score
-            if len(self._cache) > self._cache_size:
-                self._cache.popitem(last=False)
-        return score, cached
+    def _classifier_scores(self, prompts: list[str]) -> list[float]:
+        """Model scores for prompts — one padded forward pass when possible."""
+        if len(prompts) > 1 and hasattr(self.classifier, "score_batch"):
+            return [float(s) for s in self.classifier.score_batch(prompts, "yes", "no")]
+        return [float(self.classifier.score(p, "yes", "no")) for p in prompts]
 
-    def decide(self, user_id: str, behavior_text: str) -> BehaviorCardDecision:
-        """Score a user's behavior summary and record the decision."""
-        if not behavior_text.strip():
-            raise ServingError("behavior_text must be non-empty")
-        score, cached = self._score(behavior_text)
-        approved = score < self.threshold
+    def _score_texts(self, texts: Sequence[str]) -> tuple[list[float], list[bool]]:
+        """Cache-aware batched scoring: misses share one forward pass.
+
+        Duplicate texts within a batch are scored once; later occurrences
+        count as cache hits, matching what sequential ``decide`` calls
+        would have observed.
+        """
+        scores: list[float | None] = [None] * len(texts)
+        cached = [False] * len(texts)
+        first_seen: dict[str, list[int]] = {}
+        miss_texts: list[str] = []
+        for i, text in enumerate(texts):
+            if text in self._cache:
+                self._cache.move_to_end(text)
+                scores[i] = self._cache[text]
+                cached[i] = True
+            elif text in first_seen:
+                first_seen[text].append(i)
+                cached[i] = True
+            else:
+                first_seen[text] = [i]
+                miss_texts.append(text)
+        if miss_texts:
+            fresh = self._classifier_scores([self._prompt(t) for t in miss_texts])
+            for text, score in zip(miss_texts, fresh):
+                for i in first_seen[text]:
+                    scores[i] = score
+                self._cache[text] = score
+                if len(self._cache) > self.config.cache_size:
+                    self._cache.popitem(last=False)
+        return scores, cached  # type: ignore[return-value]
+
+    def _finish(
+        self, user_id: str, behavior_text: str, score: float, cached: bool,
+        degraded: bool = False,
+    ) -> ScoreResult:
+        """Record one decision (stats + audit) and build its result."""
+        approved = score < self.config.threshold
         self.stats.requests += 1
         self.stats.cache_hits += int(cached)
         self.stats.approvals += int(approved)
+        self.stats.degraded += int(degraded)
         self._audit.append(
             AuditEntry(
                 timestamp=self._clock(),
@@ -127,19 +275,102 @@ class BehaviorCardService:
                 score=score,
                 approved=approved,
                 prompt=self._prompt(behavior_text),
+                degraded=degraded,
             )
         )
-        return BehaviorCardDecision(
+        return ScoreResult(
             user_id=user_id,
             score=score,
             approved=approved,
-            threshold=self.threshold,
+            threshold=self.config.threshold,
             cached=cached,
+            degraded=degraded,
         )
 
-    def decide_batch(self, requests: list[tuple[str, str]]) -> list[BehaviorCardDecision]:
-        """Score many ``(user_id, behavior_text)`` pairs."""
-        return [self.decide(user_id, text) for user_id, text in requests]
+    def _score_batch_fn(self, requests: list[ScoreRequest]) -> list[ScoreResult]:
+        """The engine's primary batch path: cache, one forward pass, audit."""
+        for request in requests:
+            if not request.behavior_text.strip():
+                raise ServingError("behavior_text must be non-empty")
+        scores, cached = self._score_texts([r.behavior_text for r in requests])
+        return [
+            self._finish(r.user_id, r.behavior_text, s, c)
+            for r, s, c in zip(requests, scores, cached)
+        ]
+
+    def _fallback_batch_fn(self, requests: list[ScoreRequest]) -> list[ScoreResult]:
+        """Degraded mode: keep answering via the fallback scorer."""
+        assert self._fallback is not None
+        return [
+            self._finish(
+                r.user_id,
+                r.behavior_text,
+                float(self._fallback(r.behavior_text)),
+                cached=False,
+                degraded=True,
+            )
+            for r in requests
+        ]
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def decide(self, user_id: str, behavior_text: str) -> BehaviorCardDecision:
+        """Score a user's behavior summary and record the decision."""
+        if not behavior_text.strip():
+            raise ServingError("behavior_text must be non-empty")
+        scores, cached = self._score_texts([behavior_text])
+        result = self._finish(user_id, behavior_text, scores[0], cached[0])
+        return BehaviorCardDecision(
+            user_id=result.user_id,
+            score=result.score,
+            approved=result.approved,
+            threshold=result.threshold,
+            cached=result.cached,
+        )
+
+    def score_requests(self, requests: Sequence[ScoreRequest]) -> list[ScoreResult]:
+        """Score requests through the micro-batching engine (unified API).
+
+        Requests are admitted in queue-capacity-sized waves so arbitrarily
+        long lists never trip the engine's own backpressure; use
+        ``service.engine.submit`` directly for per-request admission
+        control under concurrent load.
+        """
+        results: list[ScoreResult] = []
+        wave = self.config.queue_capacity
+        for start in range(0, len(requests), wave):
+            results.extend(self.engine.serve(list(requests[start : start + wave])))
+        return results
+
+    def decide_batch(
+        self, requests: Sequence[ScoreRequest] | Sequence[tuple[str, str]]
+    ) -> list[ScoreResult] | list[BehaviorCardDecision]:
+        """Score many requests through the engine's batched path.
+
+        Accepts :class:`ScoreRequest` objects (returning
+        :class:`ScoreResult`) or legacy ``(user_id, behavior_text)``
+        tuples (returning :class:`BehaviorCardDecision`, as before).
+        """
+        if not requests:
+            return []
+        if isinstance(requests[0], ScoreRequest):
+            return self.score_requests(requests)  # type: ignore[arg-type]
+        score_requests = [
+            ScoreRequest(user_id=user_id, behavior_text=text)
+            for user_id, text in requests  # type: ignore[misc]
+        ]
+        return [
+            BehaviorCardDecision(
+                user_id=r.user_id,
+                score=r.score,
+                approved=r.approved,
+                threshold=r.threshold,
+                cached=r.cached,
+            )
+            for r in self.score_requests(score_requests)
+        ]
 
     def audit_log(self) -> list[AuditEntry]:
         """A copy of the append-only audit log."""

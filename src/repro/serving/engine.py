@@ -1,0 +1,383 @@
+"""Micro-batching serving engine for the Behavior Card service.
+
+Production inference stacks (Xinference, vLLM, Triton) get their
+throughput from *dynamic batching*: requests land in a bounded FIFO
+queue, a single worker loop assembles batches of up to
+``max_batch_size`` (waiting at most ``max_wait_s`` for stragglers) and
+scores each batch through one padded forward pass.  This module brings
+that architecture to the laptop-scale reproduction:
+
+* :class:`ScoreRequest` / :class:`ScoreResult` — the unified
+  request/response API shared by every serving entry point.
+* :class:`MicroBatchEngine` — the scheduler.  Admission control is
+  explicit: a full queue rejects with :class:`~repro.errors.QueueFullError`
+  (backpressure), per-request deadlines expire stale traffic in-queue
+  with :class:`~repro.errors.DeadlineExceededError`, and an optional
+  fallback scorer keeps the service answering (flagged ``degraded``)
+  when the model path raises.
+* :class:`EngineStats` — latency / throughput / queue-depth counters.
+
+The engine is transport-agnostic: it schedules any
+``batch_fn(list[ScoreRequest]) -> list[ScoreResult]``.
+:class:`~repro.serving.behavior_card.BehaviorCardService` supplies one
+that runs its cache, audit log and stats, so batched traffic observes
+identical semantics to single-request ``decide`` calls.
+
+Two drive modes:
+
+* **Synchronous** — ``submit()`` then ``pump()``/``drain()`` (or the
+  ``serve()`` convenience).  Deterministic; what the tests use.
+* **Threaded** — ``start()`` spins a daemon worker that batches
+  concurrent ``submit()`` traffic; callers block on
+  ``PendingResult.result()``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.errors import DeadlineExceededError, QueueFullError, ServingError
+
+
+@dataclass(frozen=True)
+class ScoreRequest:
+    """One scoring request: who is asking and what to score.
+
+    ``deadline`` is an *absolute* time on the engine's (injectable)
+    clock; a queued request whose deadline passes is expired instead of
+    scored, so the worker never burns a forward pass on traffic the
+    caller has already abandoned.
+    """
+
+    user_id: str
+    behavior_text: str
+    deadline: float | None = None
+
+
+@dataclass(frozen=True)
+class ScoreResult:
+    """Unified response: decision fields plus serving metadata."""
+
+    user_id: str
+    score: float  # P(default)
+    approved: bool
+    threshold: float
+    cached: bool
+    degraded: bool = False  # scored by the fallback path
+    latency_s: float = 0.0  # enqueue -> completion on the engine clock
+    batch_size: int = 1  # size of the batch this request rode in
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Batching and admission-control knobs.
+
+    max_batch_size:
+        Largest batch the worker assembles per forward pass.
+    max_wait_s:
+        How long the threaded worker holds an underfull batch open for
+        stragglers.  Synchronous ``pump()`` never waits.
+    queue_capacity:
+        Bound on the FIFO queue; admissions beyond it raise
+        :class:`QueueFullError`.
+    """
+
+    max_batch_size: int = 8
+    max_wait_s: float = 0.005
+    queue_capacity: int = 64
+
+    def __post_init__(self):
+        if self.max_batch_size <= 0:
+            raise ServingError(f"max_batch_size must be positive, got {self.max_batch_size}")
+        if self.max_wait_s < 0:
+            raise ServingError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+        if self.queue_capacity <= 0:
+            raise ServingError(f"queue_capacity must be positive, got {self.queue_capacity}")
+
+
+@dataclass
+class EngineStats:
+    """Counters the engine maintains; cheap enough to read at any time."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0  # QueueFullError admissions
+    expired: int = 0  # deadline passed in-queue
+    failed: int = 0  # model path raised and no fallback absorbed it
+    degraded: int = 0  # answered by the fallback scorer
+    batches: int = 0
+    total_latency_s: float = 0.0
+    max_queue_depth: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.completed / self.batches if self.batches else 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        return self.total_latency_s / self.completed if self.completed else 0.0
+
+    @property
+    def rejection_rate(self) -> float:
+        offered = self.submitted + self.rejected
+        return self.rejected / offered if offered else 0.0
+
+
+class PendingResult:
+    """A slot for one in-flight request (a minimal, thread-safe future)."""
+
+    def __init__(self, request: ScoreRequest):
+        self.request = request
+        self._event = threading.Event()
+        self._result: ScoreResult | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def _resolve(self, result: ScoreResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout: float | None = None) -> ScoreResult:
+        """Block until scored; re-raise the stored error if the request failed."""
+        if not self._event.wait(timeout):
+            raise ServingError("result not ready within timeout")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
+BatchFn = Callable[[list[ScoreRequest]], list["ScoreResult"]]
+
+
+class MicroBatchEngine:
+    """Bounded-queue dynamic batcher in front of a batch scoring function.
+
+    Parameters
+    ----------
+    batch_fn:
+        Scores a non-empty list of requests and returns one
+        :class:`ScoreResult` per request, in order.
+    config:
+        Batching / admission knobs (:class:`EngineConfig`).
+    fallback_fn:
+        Optional degraded-mode scorer with the same signature as
+        ``batch_fn``.  When the primary path raises, the batch is
+        re-scored through the fallback and every result is flagged
+        ``degraded=True``; without a fallback the error propagates to
+        each caller's :class:`PendingResult`.
+    clock:
+        Injected time source — deadlines, latency accounting and (via
+        the service's ``batch_fn``) audit timestamps are all
+        deterministic under test.
+    """
+
+    def __init__(
+        self,
+        batch_fn: BatchFn,
+        config: EngineConfig | None = None,
+        fallback_fn: BatchFn | None = None,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.config = config or EngineConfig()
+        self._batch_fn = batch_fn
+        self._fallback_fn = fallback_fn
+        self._clock = clock
+        self._queue: deque[tuple[PendingResult, float]] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self.stats = EngineStats()
+        self._worker: threading.Thread | None = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def submit(self, request: ScoreRequest) -> PendingResult:
+        """Enqueue one request; raises :class:`QueueFullError` when full."""
+        if not request.behavior_text.strip():
+            raise ServingError("behavior_text must be non-empty")
+        with self._not_empty:
+            if len(self._queue) >= self.config.queue_capacity:
+                self.stats.rejected += 1
+                raise QueueFullError(
+                    f"queue at capacity ({self.config.queue_capacity}); retry later"
+                )
+            pending = PendingResult(request)
+            self._queue.append((pending, self._clock()))
+            self.stats.submitted += 1
+            self.stats.max_queue_depth = max(self.stats.max_queue_depth, len(self._queue))
+            self._not_empty.notify()
+        return pending
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _take_batch(self) -> list[tuple[PendingResult, float]]:
+        """Pop up to ``max_batch_size`` live requests, expiring stale ones."""
+        batch: list[tuple[PendingResult, float]] = []
+        with self._lock:
+            while self._queue and len(batch) < self.config.max_batch_size:
+                pending, enqueued_at = self._queue.popleft()
+                deadline = pending.request.deadline
+                if deadline is not None and self._clock() > deadline:
+                    self.stats.expired += 1
+                    pending._reject(
+                        DeadlineExceededError(
+                            f"request for {pending.request.user_id!r} expired in queue"
+                        )
+                    )
+                    continue
+                batch.append((pending, enqueued_at))
+        return batch
+
+    def _score_batch(self, batch: list[tuple[PendingResult, float]]) -> None:
+        requests = [pending.request for pending, _ in batch]
+        degraded = False
+        try:
+            results = self._batch_fn(requests)
+        except Exception as primary_error:
+            if self._fallback_fn is None:
+                self.stats.failed += len(batch)
+                for pending, _ in batch:
+                    pending._reject(primary_error)
+                return
+            try:
+                results = self._fallback_fn(requests)
+            except Exception as fallback_error:
+                self.stats.failed += len(batch)
+                for pending, _ in batch:
+                    pending._reject(fallback_error)
+                return
+            degraded = True
+        if len(results) != len(batch):
+            error = ServingError(
+                f"batch_fn returned {len(results)} results for {len(batch)} requests"
+            )
+            self.stats.failed += len(batch)
+            for pending, _ in batch:
+                pending._reject(error)
+            return
+        now = self._clock()
+        self.stats.batches += 1
+        for (pending, enqueued_at), result in zip(batch, results):
+            latency = max(0.0, now - enqueued_at)
+            result = replace(
+                result,
+                degraded=degraded or result.degraded,
+                latency_s=latency,
+                batch_size=len(batch),
+            )
+            self.stats.completed += 1
+            self.stats.degraded += int(result.degraded)
+            self.stats.total_latency_s += latency
+            pending._resolve(result)
+
+    def pump(self) -> int:
+        """Synchronously assemble and score one batch; returns its size."""
+        batch = self._take_batch()
+        if batch:
+            self._score_batch(batch)
+        return len(batch)
+
+    def drain(self) -> None:
+        """Pump until the queue is empty."""
+        while self.pump():
+            pass
+
+    def serve(self, requests: Sequence[ScoreRequest]) -> list[ScoreResult]:
+        """Submit, drain, and collect — the synchronous batched entry point.
+
+        Admission control still applies: with more requests than
+        ``queue_capacity`` the overflow raises :class:`QueueFullError`
+        (submit in capacity-sized waves, or use the threaded worker,
+        for larger bursts).  Admission is all-or-nothing here: on
+        overflow, requests this call already enqueued are withdrawn, so
+        none of a failed ``serve()`` is ever scored behind the caller's
+        back.
+        """
+        pending = []
+        try:
+            for request in requests:
+                pending.append(self.submit(request))
+        except QueueFullError:
+            with self._lock:
+                mine = {id(p) for p in pending}
+                before = len(self._queue)
+                self._queue = deque(
+                    item for item in self._queue if id(item[0]) not in mine
+                )
+                self.stats.submitted -= before - len(self._queue)
+            raise
+        self.drain()
+        return [p.result(timeout=0) for p in pending]
+
+    # ------------------------------------------------------------------
+    # Threaded worker
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        """Launch the background worker loop (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._worker = threading.Thread(target=self._worker_loop, daemon=True)
+        self._worker.start()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the worker; by default score whatever is still queued."""
+        if self._running:
+            self._running = False
+            with self._not_empty:
+                self._not_empty.notify_all()
+            if self._worker is not None:
+                self._worker.join()
+                self._worker = None
+        if drain:
+            self.drain()
+
+    def __enter__(self) -> "MicroBatchEngine":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._not_empty:
+                while self._running and not self._queue:
+                    self._not_empty.wait(timeout=0.05)
+                if not self._running:
+                    return
+                first_enqueue = time.monotonic()
+            # Hold the batch open briefly for stragglers, unless full.
+            deadline = first_enqueue + self.config.max_wait_s
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if len(self._queue) >= self.config.max_batch_size:
+                        break
+                time.sleep(min(0.001, self.config.max_wait_s))
+            self.pump()

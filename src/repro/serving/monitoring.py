@@ -65,6 +65,15 @@ class DriftMonitor:
         """Record one live score."""
         self._window.append(float(score))
 
+    def observe_many(self, scores) -> None:
+        """Record a micro-batch of live scores (oldest first).
+
+        The batched counterpart of :meth:`observe` for engine traffic —
+        equivalent to observing each score in order.
+        """
+        for score in scores:
+            self._window.append(float(score))
+
     @property
     def n_observed(self) -> int:
         return len(self._window)

@@ -1,0 +1,391 @@
+"""Micro-batching serving engine + unified request/response API tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlineExceededError, QueueFullError, ServingError
+from repro.serving import (
+    BehaviorCardConfig,
+    BehaviorCardDecision,
+    BehaviorCardService,
+    DriftMonitor,
+    EngineConfig,
+    MicroBatchEngine,
+    ScoreRequest,
+    ScoreResult,
+)
+
+
+class _StubClassifier:
+    """Deterministic scorer: P(default) derived from the prompt length."""
+
+    def __init__(self, fail: bool = False):
+        self.calls = 0
+        self.batch_calls = 0
+        self.fail = fail
+
+    def _score(self, prompt):
+        return (len(prompt) % 10) / 10.0 + 0.05
+
+    def score(self, prompt, positive, negative):
+        if self.fail:
+            raise RuntimeError("model path down")
+        self.calls += 1
+        return self._score(prompt)
+
+    def score_batch(self, prompts, positive, negative):
+        if self.fail:
+            raise RuntimeError("model path down")
+        self.batch_calls += 1
+        self.calls += len(prompts)
+        return np.array([self._score(p) for p in prompts])
+
+
+class _Clock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+def make_service(**kwargs):
+    defaults = dict(
+        config=BehaviorCardConfig(cache_size=32, max_batch_size=4, queue_capacity=8),
+        clock=_Clock(),
+    )
+    defaults.update(kwargs)
+    return BehaviorCardService(_StubClassifier(), **defaults)
+
+
+class TestConfigAPI:
+    def test_config_object_init(self):
+        config = BehaviorCardConfig(threshold=0.4, cache_size=16, max_batch_size=2)
+        service = BehaviorCardService(_StubClassifier(), config)
+        assert service.threshold == 0.4
+        assert service.config.max_batch_size == 2
+        assert service.engine.config.max_batch_size == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ServingError):
+            BehaviorCardConfig(threshold=0.0)
+        with pytest.raises(ServingError):
+            BehaviorCardConfig(cache_size=0)
+        with pytest.raises(ServingError):
+            EngineConfig(max_batch_size=0)
+        with pytest.raises(ServingError):
+            EngineConfig(queue_capacity=-1)
+
+    def test_engine_knobs_validated_eagerly(self):
+        with pytest.raises(ServingError):
+            BehaviorCardConfig(max_batch_size=0)
+        with pytest.raises(ServingError):
+            BehaviorCardConfig(queue_capacity=0)
+        with pytest.raises(ServingError):
+            BehaviorCardConfig(max_wait_s=-1.0)
+
+    def test_loose_kwargs_fold_into_config(self):
+        service = BehaviorCardService(_StubClassifier(), threshold=0.3, cache_size=5)
+        assert service.config.threshold == 0.3
+        assert service.config.cache_size == 5
+
+    def test_loose_kwargs_with_config_deprecated(self):
+        with pytest.warns(DeprecationWarning):
+            service = BehaviorCardService(
+                _StubClassifier(), BehaviorCardConfig(), threshold=0.2
+            )
+        assert service.threshold == 0.2
+
+    def test_positional_threshold_shim(self):
+        with pytest.warns(DeprecationWarning):
+            service = BehaviorCardService(_StubClassifier(), 0.3)
+        assert service.threshold == 0.3
+
+    def test_types_reexported_at_top_level(self):
+        import repro
+
+        assert repro.ScoreRequest is ScoreRequest
+        assert repro.ScoreResult is ScoreResult
+        assert repro.BehaviorCardConfig is BehaviorCardConfig
+
+
+class TestBatchSingleParity:
+    def test_stub_parity(self):
+        texts = [f"feature={'x' * i}" for i in range(10)]
+        single = make_service()
+        batched = make_service()
+        one_by_one = [single.decide(f"u{i}", t).score for i, t in enumerate(texts)]
+        results = batched.score_requests(
+            [ScoreRequest(f"u{i}", t) for i, t in enumerate(texts)]
+        )
+        assert np.allclose([r.score for r in results], one_by_one, atol=1e-12)
+        # The batched service used the padded-batch path, not per-request calls.
+        assert batched.classifier.batch_calls > 0
+
+    def test_model_parity(self, fitted_zigong, german_examples):
+        """Engine micro-batches match ``decide`` one-by-one to 1e-6."""
+        texts = [e.prompt[:80] for e in german_examples[:6]]
+        config = BehaviorCardConfig(cache_size=64, max_batch_size=3)
+        single = BehaviorCardService(fitted_zigong.classifier(), config)
+        batched = BehaviorCardService(fitted_zigong.classifier(), config)
+        one_by_one = [single.decide(f"u{i}", t).score for i, t in enumerate(texts)]
+        results = batched.score_requests(
+            [ScoreRequest(f"u{i}", t) for i, t in enumerate(texts)]
+        )
+        assert np.allclose([r.score for r in results], one_by_one, atol=1e-6)
+        assert [r.approved for r in results] == [s < 0.5 for s in one_by_one]
+
+    def test_zigong_score_batch_matches_score(self, fitted_zigong, german_examples):
+        prompts = [e.prompt for e in german_examples[:4]]
+        clf = fitted_zigong.classifier()
+        batched = fitted_zigong.score_batch(prompts)
+        singles = [clf.score(p, "yes", "no") for p in prompts]
+        assert np.allclose(batched, singles, atol=1e-6)
+
+
+class TestBackpressure:
+    def test_queue_full_rejects_then_recovers(self):
+        service = make_service()  # queue_capacity=8
+        engine = service.engine
+        pending = [engine.submit(ScoreRequest(f"u{i}", f"t={i}")) for i in range(8)]
+        with pytest.raises(QueueFullError):
+            engine.submit(ScoreRequest("u9", "t=9"))
+        assert engine.stats.rejected == 1
+        assert engine.queue_depth == 8
+        engine.drain()  # queue drains...
+        assert engine.queue_depth == 0
+        assert all(p.done for p in pending)
+        late = engine.submit(ScoreRequest("u9", "t=9"))  # ...and admission resumes
+        engine.drain()
+        assert late.result(timeout=0).user_id == "u9"
+
+    def test_serve_waves_bypass_capacity(self):
+        service = make_service()
+        results = service.score_requests(
+            [ScoreRequest(f"u{i}", f"t={i}") for i in range(30)]
+        )
+        assert len(results) == 30
+        assert service.engine.stats.rejected == 0
+
+    def test_serve_overflow_withdraws_admitted(self):
+        service = make_service()  # queue_capacity=8
+        engine = service.engine
+        with pytest.raises(QueueFullError):
+            engine.serve([ScoreRequest(f"u{i}", f"t={i}") for i in range(9)])
+        # All-or-nothing: nothing from the failed call stays queued or scored.
+        assert engine.queue_depth == 0
+        assert engine.stats.submitted == 0
+        engine.drain()
+        assert len(service.audit_log()) == 0
+
+    def test_max_queue_depth_tracked(self):
+        service = make_service()
+        for i in range(5):
+            service.engine.submit(ScoreRequest(f"u{i}", f"t={i}"))
+        service.engine.drain()
+        assert service.engine.stats.max_queue_depth == 5
+
+
+class TestDeadlines:
+    def test_expired_request_not_scored(self):
+        clock = _Clock()
+        service = make_service(clock=clock)
+        engine = service.engine
+        stale = engine.submit(ScoreRequest("u1", "t=1", deadline=clock.now + 1))
+        live = engine.submit(ScoreRequest("u2", "t=2"))
+        clock.now += 100.0  # deadline passes while queued
+        engine.drain()
+        with pytest.raises(DeadlineExceededError):
+            stale.result(timeout=0)
+        assert live.result(timeout=0).user_id == "u2"
+        assert engine.stats.expired == 1
+        assert engine.stats.completed == 1
+        # The expired request never reached the model or the audit log.
+        assert len(service.audit_log()) == 1
+
+    def test_future_deadline_scored(self):
+        clock = _Clock()
+        service = make_service(clock=clock)
+        pending = service.engine.submit(
+            ScoreRequest("u1", "t=1", deadline=clock.now + 1e6)
+        )
+        service.engine.drain()
+        assert pending.result(timeout=0).score > 0
+
+
+class TestDegradedMode:
+    def test_fallback_keeps_answering(self):
+        service = BehaviorCardService(
+            _StubClassifier(fail=True),
+            BehaviorCardConfig(max_batch_size=4, queue_capacity=8),
+            clock=_Clock(),
+            fallback_scorer=lambda text: 0.25,
+        )
+        results = service.score_requests(
+            [ScoreRequest(f"u{i}", f"t={i}") for i in range(3)]
+        )
+        assert all(r.degraded for r in results)
+        assert all(r.score == 0.25 for r in results)
+        assert all(r.approved for r in results)
+        assert service.engine.stats.degraded == 3
+        assert service.stats.degraded == 3
+        assert all(entry.degraded for entry in service.audit_log())
+
+    def test_no_fallback_propagates_error(self):
+        service = BehaviorCardService(
+            _StubClassifier(fail=True),
+            BehaviorCardConfig(max_batch_size=4, queue_capacity=8),
+            clock=_Clock(),
+        )
+        pending = service.engine.submit(ScoreRequest("u1", "t=1"))
+        service.engine.drain()
+        with pytest.raises(RuntimeError):
+            pending.result(timeout=0)
+        assert service.engine.stats.failed == 1
+
+    def test_healthy_path_not_degraded(self):
+        service = make_service(fallback_scorer=lambda text: 0.25)
+        results = service.score_requests([ScoreRequest("u1", "t=1")])
+        assert not results[0].degraded
+        assert service.stats.degraded == 0
+
+
+class TestUnifiedAPI:
+    def test_decide_batch_tuples_legacy_shape(self):
+        service = make_service()
+        decisions = service.decide_batch([("u1", "a=1"), ("u2", "b=2")])
+        assert all(isinstance(d, BehaviorCardDecision) for d in decisions)
+        assert [d.user_id for d in decisions] == ["u1", "u2"]
+
+    def test_decide_batch_request_objects(self):
+        service = make_service()
+        results = service.decide_batch(
+            [ScoreRequest("u1", "a=1"), ScoreRequest("u2", "b=2")]
+        )
+        assert all(isinstance(r, ScoreResult) for r in results)
+        assert results[0].batch_size == 2
+
+    def test_empty_batch(self):
+        assert make_service().decide_batch([]) == []
+
+    def test_empty_text_rejected_on_submit(self):
+        service = make_service()
+        with pytest.raises(ServingError):
+            service.engine.submit(ScoreRequest("u1", "   "))
+
+    def test_batched_traffic_shares_cache_and_stats(self):
+        service = make_service()
+        service.decide("u1", "same=text")
+        results = service.score_requests([ScoreRequest("u2", "same=text")])
+        assert results[0].cached
+        assert service.stats.cache_hits == 1
+        assert service.stats.requests == 2
+
+    def test_duplicates_within_batch_scored_once(self):
+        service = make_service()
+        results = service.score_requests(
+            [ScoreRequest("u1", "same"), ScoreRequest("u2", "same")]
+        )
+        assert service.classifier.calls == 1
+        assert results[0].score == results[1].score
+        assert not results[0].cached and results[1].cached
+
+    def test_result_metadata(self):
+        service = make_service()
+        results = service.score_requests(
+            [ScoreRequest(f"u{i}", f"t={i}") for i in range(4)]
+        )
+        assert all(r.batch_size == 4 for r in results)
+        assert all(r.latency_s >= 0 for r in results)
+        assert service.engine.stats.mean_batch_size == 4.0
+        assert service.engine.stats.mean_latency_s > 0
+
+
+class TestDeterministicClock:
+    def test_audit_timestamps_from_injected_clock(self):
+        clock = _Clock(now=0.0)
+        service = make_service(clock=clock)
+        service.score_requests([ScoreRequest("u1", "a=1"), ScoreRequest("u2", "b=2")])
+        stamps = [entry.timestamp for entry in service.audit_log()]
+        # Every tick comes from the injected clock — no wall-clock reads.
+        assert all(float(s).is_integer() for s in stamps)
+        assert stamps == sorted(stamps)
+        assert stamps[0] > 0.0
+
+
+class TestThreadedWorker:
+    def test_background_worker_scores_submissions(self):
+        calls = []
+
+        def batch_fn(requests):
+            calls.append(len(requests))
+            return [
+                ScoreResult(
+                    user_id=r.user_id,
+                    score=0.1,
+                    approved=True,
+                    threshold=0.5,
+                    cached=False,
+                )
+                for r in requests
+            ]
+
+        engine = MicroBatchEngine(
+            batch_fn, EngineConfig(max_batch_size=4, max_wait_s=0.01, queue_capacity=64)
+        )
+        with engine:
+            pending = [engine.submit(ScoreRequest(f"u{i}", f"t={i}")) for i in range(12)]
+            results = [p.result(timeout=5.0) for p in pending]
+        assert [r.user_id for r in results] == [f"u{i}" for i in range(12)]
+        assert engine.stats.completed == 12
+        assert max(calls) <= 4
+
+    def test_stop_drains_remaining(self):
+        engine = MicroBatchEngine(
+            lambda reqs: [
+                ScoreResult(r.user_id, 0.1, True, 0.5, False) for r in reqs
+            ],
+            EngineConfig(max_batch_size=2, queue_capacity=16),
+        )
+        pending = engine.submit(ScoreRequest("u1", "t=1"))
+        engine.stop(drain=True)  # never started; drain still scores the queue
+        assert pending.result(timeout=0).user_id == "u1"
+
+
+class TestMonitoringIntegration:
+    def test_observe_many_matches_observe(self):
+        reference = np.linspace(0, 1, 50)
+        a = DriftMonitor(reference, window=100)
+        b = DriftMonitor(reference, window=100)
+        scores = np.random.default_rng(0).uniform(size=20)
+        for s in scores:
+            a.observe(s)
+        b.observe_many(scores)
+        assert a.n_observed == b.n_observed
+        assert a.psi() == pytest.approx(b.psi())
+
+
+class TestPaddedClassifierPath:
+    def test_predict_proba_sequences_parity(self, tiny_config):
+        from repro.nn.classifier import SequenceClassifier, pad_sequences
+
+        clf = SequenceClassifier(tiny_config, rng=0)
+        sequences = [[5, 6, 7], [8, 9], [10, 11, 12, 13, 14]]
+        batched = clf.predict_proba_sequences(sequences)
+        singles = [float(clf.predict_proba(np.array([seq]))[0]) for seq in sequences]
+        assert np.allclose(batched, singles, atol=1e-5)
+        padded = pad_sequences(sequences, pad_id=0)
+        assert padded.shape == (3, 5)
+        assert padded[1, 2:].tolist() == [0, 0, 0]
+
+    def test_pad_sequences_rejects_empty(self):
+        from repro.errors import ShapeError
+        from repro.nn.classifier import pad_sequences
+
+        with pytest.raises(ShapeError):
+            pad_sequences([])
+        with pytest.raises(ShapeError):
+            pad_sequences([[1], []])
