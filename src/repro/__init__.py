@@ -8,9 +8,11 @@ Public API highlights:
 * :class:`repro.influence.TracSeq` — time-decayed influence (Eq. 1)
 * :class:`repro.eval.CalmBenchmark` — the Table 2 evaluation suite
 * :class:`repro.serving.BehaviorCardService` — the deployment surface
+* :class:`repro.obs.Observability` — metrics / spans / events layer
 """
 
 from repro.config import ZiGongConfig, bench_config, table3_rows, test_config
+from repro.obs import MetricsRegistry, Observability, get_observability
 from repro.core import (
     DataPruner,
     PipelineConfig,
@@ -49,4 +51,7 @@ __all__ = [
     "test_config",
     "bench_config",
     "table3_rows",
+    "Observability",
+    "MetricsRegistry",
+    "get_observability",
 ]

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro evaluate --model model/ --data test.jsonl
     python -m repro pipeline --dataset german        # full prune+mix+tune
     python -m repro table3                           # config table
+    python -m repro obs report --events run.jsonl    # summarize a recorded run
 
 Everything is seeded; rerunning a command reproduces its output.
 """
@@ -139,6 +140,14 @@ def cmd_pipeline(args) -> int:
     return 0
 
 
+def cmd_obs_report(args) -> int:
+    from repro.obs import read_events, render_report
+
+    events = read_events(args.events)
+    print(render_report(events))
+    return 0
+
+
 def cmd_table3(args) -> int:
     print(format_table(
         ["Category", "Parameter", "Paper (Mistral 7B)", "This reproduction"],
@@ -192,6 +201,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_pipeline)
 
     sub.add_parser("table3", help="print the configuration table").set_defaults(fn=cmd_table3)
+
+    p = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    r = obs_sub.add_parser(
+        "report", help="render metrics / spans / events from a recorded JSONL run"
+    )
+    r.add_argument("--events", required=True, help="JSON-lines file written by an EventSink")
+    r.set_defaults(fn=cmd_obs_report)
     return parser
 
 

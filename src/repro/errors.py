@@ -44,6 +44,10 @@ class EvaluationError(ReproError):
     """Benchmark or metric computation failure."""
 
 
+class ObservabilityError(ReproError):
+    """Metrics / tracing / event-sink misuse (never raised on hot paths)."""
+
+
 class ServingError(ReproError):
     """Behavior Card serving failure."""
 

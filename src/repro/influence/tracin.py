@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.errors import InfluenceError
 from repro.influence.gradients import GradientProjector, TokenExample, gradient_matrix
+from repro.obs import Observability, get_observability
 from repro.training.checkpoint import CheckpointManager, CheckpointRecord
 
 
@@ -35,6 +36,12 @@ class TracInCP:
         Optional :class:`GradientProjector`; with many samples the
         sketched computation is much cheaper and near-identical in
         ranking.
+    obs:
+        Observability hub; every checkpoint replay is timed in an
+        ``influence.checkpoint`` span (child of the surrounding
+        ``influence.matrix`` / ``influence.self`` span) and counted,
+        so the dominant cost of attribution — gradient passes — shows
+        up in traces and metrics.
     """
 
     def __init__(
@@ -43,6 +50,7 @@ class TracInCP:
         checkpoints: Sequence[CheckpointRecord],
         projector: GradientProjector | None = None,
         normalize: bool = False,
+        obs: Observability | None = None,
     ):
         if not checkpoints:
             raise InfluenceError("TracInCP requires at least one checkpoint")
@@ -53,6 +61,10 @@ class TracInCP:
         # so large-gradient (high-loss / majority-aligned) samples cannot
         # dominate purely by magnitude.
         self.normalize = normalize
+        self.obs = obs or get_observability()
+        metrics = self.obs.metrics
+        self._m_replays = metrics.counter("influence.checkpoints_replayed")
+        self._m_gradient_passes = metrics.counter("influence.gradient_passes")
 
     def _grads(self, examples: Sequence[TokenExample]) -> np.ndarray:
         matrix = gradient_matrix(self.model, examples, self.projector)
@@ -76,12 +88,21 @@ class TracInCP:
         saved = self.model.state_dict()
         try:
             total = np.zeros((len(train_examples), len(test_examples)))
-            for index, record in enumerate(self.checkpoints):
-                CheckpointManager.restore(self.model, record)
-                g_train = self._grads(train_examples)
-                g_test = self._grads(test_examples)
-                weight = self._checkpoint_weight(index, record)
-                total += weight * (g_train @ g_test.T)
+            with self.obs.span(
+                "influence.matrix",
+                n_train=len(train_examples),
+                n_test=len(test_examples),
+                n_checkpoints=len(self.checkpoints),
+            ):
+                for index, record in enumerate(self.checkpoints):
+                    with self.obs.span("influence.checkpoint", step=record.step):
+                        CheckpointManager.restore(self.model, record)
+                        g_train = self._grads(train_examples)
+                        g_test = self._grads(test_examples)
+                        weight = self._checkpoint_weight(index, record)
+                        total += weight * (g_train @ g_test.T)
+                    self._m_replays.inc()
+                    self._m_gradient_passes.inc(len(train_examples) + len(test_examples))
             return total
         finally:
             self.model.load_state_dict(saved)
@@ -115,11 +136,20 @@ class TracInCP:
         saved = self.model.state_dict()
         try:
             rows = []
-            for record in self.checkpoints:
-                CheckpointManager.restore(self.model, record)
-                g_train = self._grads(train_examples)
-                g_test = self._grads(test_examples)
-                rows.append(g_train @ g_test.sum(axis=0))
+            with self.obs.span(
+                "influence.products",
+                n_train=len(train_examples),
+                n_test=len(test_examples),
+                n_checkpoints=len(self.checkpoints),
+            ):
+                for record in self.checkpoints:
+                    with self.obs.span("influence.checkpoint", step=record.step):
+                        CheckpointManager.restore(self.model, record)
+                        g_train = self._grads(train_examples)
+                        g_test = self._grads(test_examples)
+                        rows.append(g_train @ g_test.sum(axis=0))
+                    self._m_replays.inc()
+                    self._m_gradient_passes.inc(len(train_examples) + len(test_examples))
             return np.stack(rows)
         finally:
             self.model.load_state_dict(saved)
@@ -131,11 +161,19 @@ class TracInCP:
         saved = self.model.state_dict()
         try:
             total = np.zeros(len(train_examples))
-            for index, record in enumerate(self.checkpoints):
-                CheckpointManager.restore(self.model, record)
-                g_train = self._grads(train_examples)
-                weight = self._checkpoint_weight(index, record)
-                total += weight * (g_train * g_train).sum(axis=1)
+            with self.obs.span(
+                "influence.self",
+                n_train=len(train_examples),
+                n_checkpoints=len(self.checkpoints),
+            ):
+                for index, record in enumerate(self.checkpoints):
+                    with self.obs.span("influence.checkpoint", step=record.step):
+                        CheckpointManager.restore(self.model, record)
+                        g_train = self._grads(train_examples)
+                        weight = self._checkpoint_weight(index, record)
+                        total += weight * (g_train * g_train).sum(axis=1)
+                    self._m_replays.inc()
+                    self._m_gradient_passes.inc(len(train_examples))
             return total
         finally:
             self.model.load_state_dict(saved)

@@ -30,6 +30,7 @@ import numpy as np
 from repro.errors import InfluenceError
 from repro.influence.gradients import GradientProjector, TokenExample
 from repro.influence.tracin import TracInCP
+from repro.obs import Observability
 from repro.training.checkpoint import CheckpointRecord
 
 
@@ -45,8 +46,9 @@ class TracSeq(TracInCP):
         horizon: float | None = None,
         projector: GradientProjector | None = None,
         normalize: bool = False,
+        obs: Observability | None = None,
     ):
-        super().__init__(model, checkpoints, projector=projector, normalize=normalize)
+        super().__init__(model, checkpoints, projector=projector, normalize=normalize, obs=obs)
         if not 0.0 < gamma <= 1.0:
             raise InfluenceError(f"gamma must be in (0, 1], got {gamma}")
         self.gamma = gamma
@@ -78,7 +80,13 @@ class TracSeq(TracInCP):
         the influence matrix is multiplied by
         ``gamma ** (test_time - sample_times[j])``.
         """
-        base = self.influence_matrix(train_examples, test_examples).sum(axis=1)
+        with self.obs.span(
+            "influence.tracseq.scores",
+            n_train=len(train_examples),
+            n_test=len(test_examples),
+            gamma=self.gamma,
+        ):
+            base = self.influence_matrix(train_examples, test_examples).sum(axis=1)
         if sample_times is None:
             return base
         times = np.asarray(sample_times, dtype=np.float64)

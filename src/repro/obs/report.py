@@ -1,0 +1,123 @@
+"""Render a human-readable summary of a recorded observability run.
+
+The input is the event list produced by :class:`~repro.obs.events.EventSink`
+(usually loaded back with :func:`~repro.obs.events.read_events`); the
+output is the monospace report behind ``repro obs report``:
+
+* event counts by kind,
+* a span summary aggregated by name (count / total / mean / max), and
+* the **last** ``metrics`` snapshot in the run — counters, gauges and
+  histogram quantiles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from typing import Mapping, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def _table(headers, rows, title=None) -> str:
+    # Imported lazily: repro.eval transitively imports repro.influence,
+    # which imports repro.obs — a cycle at module-import time only.
+    from repro.eval import format_table
+
+    return format_table(headers, rows, title=title)
+
+
+def _num(value: float) -> str:
+    """Compact numeric formatting (latencies are sub-millisecond)."""
+    return f"{value:.6g}"
+
+
+def _span_rows(events: Sequence[Mapping]) -> list[list]:
+    totals: dict[str, list[float]] = {}
+    for event in events:
+        if event.get("kind") != "span":
+            continue
+        agg = totals.setdefault(str(event.get("name", "?")), [0, 0.0, 0.0])
+        duration = float(event.get("duration_s", 0.0))
+        agg[0] += 1
+        agg[1] += duration
+        agg[2] = max(agg[2], duration)
+    return [
+        [name, int(count), _num(total), _num(total / count if count else 0.0), _num(peak)]
+        for name, (count, total, peak) in sorted(totals.items())
+    ]
+
+
+def _latest_metrics(events: Sequence[Mapping]) -> Mapping | None:
+    snapshot = None
+    for event in events:
+        if event.get("kind") == "metrics":
+            snapshot = event.get("snapshot")
+    return snapshot
+
+
+def render_snapshot(snapshot: Mapping) -> str:
+    """Render one registry snapshot (``MetricsRegistry.snapshot()``)."""
+    parts = []
+    scalars = [
+        [key, _num(float(value)), "counter"]
+        for key, value in snapshot.get("counters", {}).items()
+    ] + [
+        [key, _num(float(value)), "gauge"]
+        for key, value in snapshot.get("gauges", {}).items()
+    ]
+    if scalars:
+        parts.append(_table(["Metric", "Value", "Type"], scalars, title="Metrics"))
+    histograms = [
+        [
+            key,
+            int(summary.get("count", 0)),
+            _num(float(summary.get("mean", 0.0))),
+            _num(float(summary.get("p50", 0.0))),
+            _num(float(summary.get("p90", 0.0))),
+            _num(float(summary.get("p99", 0.0))),
+            _num(float(summary.get("max", 0.0))),
+        ]
+        for key, summary in snapshot.get("histograms", {}).items()
+    ]
+    if histograms:
+        parts.append(
+            _table(
+                ["Histogram", "Count", "Mean", "P50", "P90", "P99", "Max"],
+                histograms,
+                title="Histograms",
+            )
+        )
+    return "\n\n".join(parts) if parts else "(empty metrics snapshot)"
+
+
+def render_registry(registry: MetricsRegistry) -> str:
+    """Render a live registry (used by benchmarks and the demo paths)."""
+    return render_snapshot(registry.snapshot())
+
+
+def render_report(events: Sequence[Mapping]) -> str:
+    """Full report for a recorded run: events, spans, final metrics."""
+    if not events:
+        return "(no events recorded)"
+    parts = []
+    kinds = TallyCounter(str(event.get("kind", "?")) for event in events)
+    parts.append(
+        _table(
+            ["Kind", "Count"],
+            [[kind, count] for kind, count in sorted(kinds.items())],
+            title=f"Recorded run: {len(events)} events",
+        )
+    )
+    span_rows = _span_rows(events)
+    if span_rows:
+        parts.append(
+            _table(
+                ["Span", "Count", "Total s", "Mean s", "Max s"],
+                span_rows,
+                title="Spans",
+            )
+        )
+    snapshot = _latest_metrics(events)
+    if snapshot is not None:
+        parts.append(render_snapshot(snapshot))
+    return "\n\n".join(parts)

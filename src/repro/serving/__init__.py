@@ -6,6 +6,7 @@ from repro.serving.behavior_card import (
     BehaviorCardDecision,
     BehaviorCardService,
     ServiceStats,
+    reset_deprecation_warnings,
 )
 from repro.serving.engine import (
     EngineConfig,
@@ -48,4 +49,5 @@ __all__ = [
     "ReasonCode",
     "reason_codes",
     "adverse_action_reasons",
+    "reset_deprecation_warnings",
 ]

@@ -29,6 +29,7 @@ thin deprecation shims.
 
 from __future__ import annotations
 
+import sys
 import time
 import warnings
 from collections import OrderedDict
@@ -37,6 +38,7 @@ from typing import Callable, Sequence
 
 from repro.errors import ServingError
 from repro.data.templates import CLASSIFICATION_TEMPLATE
+from repro.obs import Observability, get_observability
 from repro.serving.engine import (
     EngineConfig,
     MicroBatchEngine,
@@ -45,6 +47,32 @@ from repro.serving.engine import (
 )
 
 DEFAULT_QUESTION = "will this user default on their loan"
+
+# Call sites (file, line, message) that have already been warned about.
+# Deprecation shims warn exactly once per call site: the first hit of a
+# given caller line emits a DeprecationWarning, repeats stay silent, and
+# a *different* call site still gets its own warning.  This keeps noisy
+# request loops quiet without hiding any distinct usage.
+_WARNED_SITES: set[tuple[str, int, str]] = set()
+
+
+def _warn_deprecated_once(message: str, stacklevel: int = 2) -> None:
+    """Emit ``DeprecationWarning`` once per (caller file, line, message)."""
+    try:
+        frame = sys._getframe(stacklevel)
+        site = (frame.f_code.co_filename, frame.f_lineno, message)
+    except ValueError:  # stack shallower than expected; warn unconditionally
+        site = None
+    if site is not None:
+        if site in _WARNED_SITES:
+            return
+        _WARNED_SITES.add(site)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel + 1)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget warned call sites (so tests can re-assert the first hit)."""
+    _WARNED_SITES.clear()
 
 
 @dataclass(frozen=True)
@@ -161,12 +189,12 @@ class BehaviorCardService:
         question: str | None = None,
         clock: Callable[[], float] = time.time,
         fallback_scorer: Callable[[str], float] | None = None,
+        obs: Observability | None = None,
     ):
         if isinstance(config, (int, float)):
-            warnings.warn(
+            _warn_deprecated_once(
                 "passing threshold positionally is deprecated; "
                 "use BehaviorCardConfig(threshold=...)",
-                DeprecationWarning,
                 stacklevel=2,
             )
             threshold = float(config)
@@ -183,10 +211,9 @@ class BehaviorCardService:
         if config is None:
             config = BehaviorCardConfig(**legacy)
         elif legacy:
-            warnings.warn(
+            _warn_deprecated_once(
                 "loose keyword arguments are deprecated; "
                 "pass a BehaviorCardConfig instead",
-                DeprecationWarning,
                 stacklevel=2,
             )
             config = replace(config, **legacy)
@@ -197,11 +224,19 @@ class BehaviorCardService:
         self._cache: OrderedDict[str, float] = OrderedDict()
         self._audit: list[AuditEntry] = []
         self.stats = ServiceStats()
+        self.obs = obs or get_observability()
+        metrics = self.obs.metrics
+        self._m_requests = metrics.counter("behavior_card.requests")
+        self._m_cache_hits = metrics.counter("behavior_card.cache_hits")
+        self._m_approvals = metrics.counter("behavior_card.approvals")
+        self._m_degraded = metrics.counter("behavior_card.degraded")
+        self._h_score = metrics.histogram("behavior_card.score")
         self.engine = MicroBatchEngine(
             batch_fn=self._score_batch_fn,
             config=config.engine_config(),
             fallback_fn=self._fallback_batch_fn if fallback_scorer is not None else None,
             clock=clock,
+            obs=self.obs,
         )
 
     # Legacy attribute views (pre-config-object callers read these).
@@ -268,6 +303,11 @@ class BehaviorCardService:
         self.stats.cache_hits += int(cached)
         self.stats.approvals += int(approved)
         self.stats.degraded += int(degraded)
+        self._m_requests.inc()
+        self._m_cache_hits.inc(int(cached))
+        self._m_approvals.inc(int(approved))
+        self._m_degraded.inc(int(degraded))
+        self._h_score.observe(score)
         self._audit.append(
             AuditEntry(
                 timestamp=self._clock(),
@@ -357,6 +397,11 @@ class BehaviorCardService:
             return []
         if isinstance(requests[0], ScoreRequest):
             return self.score_requests(requests)  # type: ignore[arg-type]
+        _warn_deprecated_once(
+            "decide_batch with (user_id, text) tuples is deprecated; "
+            "pass ScoreRequest objects",
+            stacklevel=2,
+        )
         score_requests = [
             ScoreRequest(user_id=user_id, behavior_text=text)
             for user_id, text in requests  # type: ignore[misc]

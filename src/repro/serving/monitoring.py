@@ -8,6 +8,11 @@ Two standard risk-control tools:
   < 0.1 stable, 0.1–0.25 watch, > 0.25 drifted (recalibrate).
 * **Shadow deployment** — run a candidate model silently next to the
   production model on live traffic and track agreement before cutover.
+
+Both monitors publish into the observability layer: the drift monitor
+keeps a ``monitoring.psi`` gauge and observation counter fresh (plus a
+``monitoring.drift`` event per status check), the shadow deployment
+counts requests and disagreements.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ServingError
+from repro.obs import Observability, get_observability
 
 PSI_WATCH = 0.1
 PSI_DRIFT = 0.25
@@ -51,7 +57,13 @@ def population_stability_index(
 class DriftMonitor:
     """Rolling-window PSI monitor over live model scores."""
 
-    def __init__(self, reference_scores, window: int = 500, n_bins: int = 10):
+    def __init__(
+        self,
+        reference_scores,
+        window: int = 500,
+        n_bins: int = 10,
+        obs: Observability | None = None,
+    ):
         reference = np.asarray(reference_scores, dtype=np.float64)
         if reference.size < n_bins:
             raise ServingError(f"need at least {n_bins} reference scores")
@@ -60,10 +72,14 @@ class DriftMonitor:
         self.reference = reference
         self.n_bins = n_bins
         self._window: deque[float] = deque(maxlen=window)
+        self.obs = obs or get_observability()
+        self._m_observations = self.obs.metrics.counter("monitoring.observations")
+        self._g_psi = self.obs.metrics.gauge("monitoring.psi")
 
     def observe(self, score: float) -> None:
         """Record one live score."""
         self._window.append(float(score))
+        self._m_observations.inc()
 
     def observe_many(self, scores) -> None:
         """Record a micro-batch of live scores (oldest first).
@@ -71,8 +87,11 @@ class DriftMonitor:
         The batched counterpart of :meth:`observe` for engine traffic —
         equivalent to observing each score in order.
         """
+        n = 0
         for score in scores:
             self._window.append(float(score))
+            n += 1
+        self._m_observations.inc(n)
 
     @property
     def n_observed(self) -> int:
@@ -82,18 +101,24 @@ class DriftMonitor:
         """PSI of the current window against the reference."""
         if not self._window:
             raise ServingError("no live scores observed yet")
-        return population_stability_index(
+        value = population_stability_index(
             self.reference, np.asarray(self._window), n_bins=self.n_bins
         )
+        self._g_psi.set(value)
+        return value
 
     def status(self) -> str:
         """``stable`` / ``watch`` / ``drift`` by conventional thresholds."""
         value = self.psi()
         if value < PSI_WATCH:
-            return "stable"
-        if value < PSI_DRIFT:
-            return "watch"
-        return "drift"
+            status = "stable"
+        elif value < PSI_DRIFT:
+            status = "watch"
+        else:
+            status = "drift"
+        self.obs.event("monitoring.drift", psi=value, status=status,
+                       n_observed=self.n_observed)
+        return status
 
 
 @dataclass(frozen=True)
@@ -120,15 +145,21 @@ class ShadowDeployment:
     is recorded for offline comparison.
     """
 
-    def __init__(self, primary, shadow):
+    def __init__(self, primary, shadow, obs: Observability | None = None):
         self.primary = primary
         self.shadow = shadow
         self._records: list[ShadowRecord] = []
+        self.obs = obs or get_observability()
+        self._m_requests = self.obs.metrics.counter("monitoring.shadow_requests")
+        self._m_disagreements = self.obs.metrics.counter("monitoring.shadow_disagreements")
 
     def score(self, prompt: str, positive_text: str = "yes", negative_text: str = "no") -> float:
         primary_score = float(self.primary.score(prompt, positive_text, negative_text))
         shadow_score = float(self.shadow.score(prompt, positive_text, negative_text))
-        self._records.append(ShadowRecord(prompt, primary_score, shadow_score))
+        record = ShadowRecord(prompt, primary_score, shadow_score)
+        self._records.append(record)
+        self._m_requests.inc()
+        self._m_disagreements.inc(int(record.primary_label != record.shadow_label))
         return primary_score
 
     @property

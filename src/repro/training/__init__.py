@@ -5,6 +5,7 @@ from repro.training.callbacks import (
     Callback,
     EarlyStopping,
     History,
+    MetricsLogger,
     PrintLogger,
     StepLog,
     ValidationLoss,
@@ -19,6 +20,7 @@ __all__ = [
     "iter_batches",
     "Callback",
     "History",
+    "MetricsLogger",
     "PrintLogger",
     "EarlyStopping",
     "ValidationLoss",

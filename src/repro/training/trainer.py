@@ -7,18 +7,20 @@ checkpoints consumed later by TracInCP / TracSeq.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigError, GradientError
 from repro.nn.transformer import MistralTiny
+from repro.obs import Observability, get_observability
 from repro.optim.clip import clip_grad_norm
 from repro.optim.optimizer import Optimizer
 from repro.optim.schedule import ConstantLR, LRSchedule
 from repro.training.batching import iter_batches
-from repro.training.callbacks import Callback, History, StepLog
+from repro.training.callbacks import Callback, History, MetricsLogger, StepLog
 from repro.training.checkpoint import CheckpointManager
 
 TokenExample = tuple[list[int], list[int]]
@@ -74,6 +76,8 @@ class Trainer:
         schedule: LRSchedule | None = None,
         checkpoint_manager: CheckpointManager | None = None,
         callbacks: Sequence[Callback] = (),
+        obs: Observability | None = None,
+        clock: Callable[[], float] = time.perf_counter,
     ):
         self.model = model
         self.optimizer = optimizer
@@ -81,7 +85,11 @@ class Trainer:
         self.schedule = schedule or ConstantLR(optimizer.lr)
         self.checkpoints = checkpoint_manager
         self.history = History()
-        self.callbacks: list[Callback] = [self.history, *callbacks]
+        self.obs = obs or get_observability()
+        self._clock = clock
+        # Per-step timing, tokens/sec and the loss gauge publish through
+        # an auto-installed MetricsLogger wired to this trainer's hub.
+        self.callbacks: list[Callback] = [self.history, MetricsLogger(self.obs), *callbacks]
         self.global_step = 0
 
     def resume(self) -> int:
@@ -161,25 +169,37 @@ class Trainer:
         return self.history
 
     def _step(self, micro_batches) -> float:
-        lr = self.schedule.lr_at(self.global_step)
-        self.optimizer.lr = lr
-        self.optimizer.zero_grad()
-        losses = [self._run_micro_batch(batch) for batch in micro_batches]
-        if self.config.clip_norm is not None:
-            grad_norm = clip_grad_norm(self.optimizer.params, self.config.clip_norm)
-        else:
-            from repro.optim.clip import global_grad_norm
+        started = self._clock()
+        tokens = int(sum(batch.input_ids.size for batch in micro_batches))
+        with self.obs.span(
+            "training.step", step=self.global_step + 1, tokens=tokens
+        ):
+            lr = self.schedule.lr_at(self.global_step)
+            self.optimizer.lr = lr
+            self.optimizer.zero_grad()
+            losses = [self._run_micro_batch(batch) for batch in micro_batches]
+            if self.config.clip_norm is not None:
+                grad_norm = clip_grad_norm(self.optimizer.params, self.config.clip_norm)
+            else:
+                from repro.optim.clip import global_grad_norm
 
-            grad_norm = global_grad_norm(self.optimizer.params)
-        if self.config.detect_anomalies and not np.isfinite(grad_norm):
-            raise GradientError(
-                f"non-finite gradient norm at step {self.global_step}; "
-                "check inputs and learning rate"
-            )
-        self.optimizer.step()
+                grad_norm = global_grad_norm(self.optimizer.params)
+            if self.config.detect_anomalies and not np.isfinite(grad_norm):
+                raise GradientError(
+                    f"non-finite gradient norm at step {self.global_step}; "
+                    "check inputs and learning rate"
+                )
+            self.optimizer.step()
         self.global_step += 1
         loss = float(np.mean(losses))
-        log = StepLog(step=self.global_step, loss=loss, lr=lr, grad_norm=grad_norm)
+        log = StepLog(
+            step=self.global_step,
+            loss=loss,
+            lr=lr,
+            grad_norm=grad_norm,
+            step_s=max(0.0, self._clock() - started),
+            tokens=tokens,
+        )
         for cb in self.callbacks:
             cb.on_step(log)
         if (

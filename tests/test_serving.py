@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ServingError
-from repro.serving import BehaviorCardService
+from repro.serving import BehaviorCardService, reset_deprecation_warnings
 
 
 class _StubClassifier:
@@ -47,7 +47,9 @@ class TestDecisions:
             service.decide("u1", "   ")
 
     def test_batch(self, service):
-        decisions = service.decide_batch([("u1", "a=1"), ("u2", "b=2")])
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning, match="tuples"):
+            decisions = service.decide_batch([("u1", "a=1"), ("u2", "b=2")])
         assert [d.user_id for d in decisions] == ["u1", "u2"]
 
     def test_invalid_config(self):

@@ -15,6 +15,7 @@ from repro.serving import (
     MicroBatchEngine,
     ScoreRequest,
     ScoreResult,
+    reset_deprecation_warnings,
 )
 
 
@@ -93,6 +94,7 @@ class TestConfigAPI:
         assert service.config.cache_size == 5
 
     def test_loose_kwargs_with_config_deprecated(self):
+        reset_deprecation_warnings()
         with pytest.warns(DeprecationWarning):
             service = BehaviorCardService(
                 _StubClassifier(), BehaviorCardConfig(), threshold=0.2
@@ -100,6 +102,7 @@ class TestConfigAPI:
         assert service.threshold == 0.2
 
     def test_positional_threshold_shim(self):
+        reset_deprecation_warnings()
         with pytest.warns(DeprecationWarning):
             service = BehaviorCardService(_StubClassifier(), 0.3)
         assert service.threshold == 0.3
@@ -256,7 +259,9 @@ class TestDegradedMode:
 class TestUnifiedAPI:
     def test_decide_batch_tuples_legacy_shape(self):
         service = make_service()
-        decisions = service.decide_batch([("u1", "a=1"), ("u2", "b=2")])
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning, match="tuples"):
+            decisions = service.decide_batch([("u1", "a=1"), ("u2", "b=2")])
         assert all(isinstance(d, BehaviorCardDecision) for d in decisions)
         assert [d.user_id for d in decisions] == ["u1", "u2"]
 
@@ -389,3 +394,167 @@ class TestPaddedClassifierPath:
             pad_sequences([])
         with pytest.raises(ShapeError):
             pad_sequences([[1], []])
+
+
+class TestDeprecationShims:
+    """Deprecation warnings fire exactly once per call *site*."""
+
+    def test_repeated_call_site_warns_once(self):
+        import warnings
+
+        reset_deprecation_warnings()
+        service = make_service()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(5):
+                service.decide_batch([("u1", "a=1")])  # one site, five hits
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+
+    def test_distinct_call_sites_warn_separately(self):
+        import warnings
+
+        reset_deprecation_warnings()
+        service = make_service()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            service.decide_batch([("u1", "a=1")])  # site A
+            service.decide_batch([("u2", "b=2")])  # site B
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 2
+
+    def test_reset_reenables_warning(self):
+        import warnings
+
+        reset_deprecation_warnings()
+        service = make_service()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(2):
+                service.decide_batch([("u1", "a=1")])
+                reset_deprecation_warnings()
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 2
+
+    def test_warning_points_at_caller(self):
+        import warnings
+
+        reset_deprecation_warnings()
+        service = make_service()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            service.decide_batch([("u1", "a=1")])
+        assert caught[0].filename == __file__  # not behavior_card.py
+
+    def test_constructor_shims_dedupe_too(self):
+        import warnings
+
+        reset_deprecation_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(3):
+                BehaviorCardService(_StubClassifier(), 0.3)  # positional threshold
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+
+
+class TestEngineEdgeCases:
+    def test_zero_deadline_expires_without_scoring(self):
+        clock = _Clock()
+        service = make_service(clock=clock)
+        classifier = service.classifier
+        pending = service.engine.submit(
+            ScoreRequest("u1", "t=1", deadline=0.0)  # already in the past
+        )
+        service.engine.drain()
+        with pytest.raises(DeadlineExceededError):
+            pending.result(timeout=0)
+        assert service.engine.stats.expired == 1
+        assert classifier.calls == 0  # never reached the model
+
+    def test_pump_empty_queue_is_noop(self):
+        service = make_service()
+        assert service.engine.pump() == 0
+        service.engine.drain()  # idempotent on empty queue
+        assert service.engine.stats.submitted == 0
+        assert service.engine.stats.completed == 0
+
+    def test_serve_empty_list(self):
+        assert make_service().engine.serve([]) == []
+
+    def test_burst_load_no_lost_or_double_scored(self):
+        """Concurrent submitters against the threaded worker: every request
+        answered exactly once."""
+        import threading
+
+        scored = []
+        lock = threading.Lock()
+
+        def batch_fn(requests):
+            with lock:
+                scored.extend(r.user_id for r in requests)
+            return [ScoreResult(r.user_id, 0.1, True, 0.5, False) for r in requests]
+
+        engine = MicroBatchEngine(
+            batch_fn,
+            EngineConfig(max_batch_size=4, max_wait_s=0.005, queue_capacity=256),
+        )
+        n_threads, per_thread = 4, 16
+        pending: list = [None] * (n_threads * per_thread)
+
+        def submitter(thread_index):
+            for i in range(per_thread):
+                slot = thread_index * per_thread + i
+                pending[slot] = engine.submit(
+                    ScoreRequest(f"u{slot}", f"t={slot}")
+                )
+
+        with engine:
+            threads = [
+                threading.Thread(target=submitter, args=(t,)) for t in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            results = [p.result(timeout=10.0) for p in pending]
+
+        expected = {f"u{i}" for i in range(n_threads * per_thread)}
+        assert {r.user_id for r in results} == expected  # none lost
+        assert sorted(scored) == sorted(expected)  # none double-scored
+        assert engine.stats.completed == len(expected)
+        assert engine.stats.failed == 0
+
+    def test_degraded_fallback_counters(self):
+        from repro.obs import Observability
+
+        obs = Observability.create()
+        service = BehaviorCardService(
+            _StubClassifier(fail=True),
+            BehaviorCardConfig(max_batch_size=4, queue_capacity=8),
+            clock=_Clock(),
+            fallback_scorer=lambda text: 0.25,
+            obs=obs,
+        )
+        service.score_requests([ScoreRequest(f"u{i}", f"t={i}") for i in range(3)])
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["serving.degraded"] == service.engine.stats.degraded == 3
+        assert counters["serving.completed"] == 3
+        assert counters["behavior_card.degraded"] == 3
+        assert counters["serving.failed"] == 0  # fallback answered; no failures
+
+    def test_failed_batch_counter_without_fallback(self):
+        from repro.obs import Observability
+
+        obs = Observability.create()
+        service = BehaviorCardService(
+            _StubClassifier(fail=True),
+            BehaviorCardConfig(max_batch_size=4, queue_capacity=8),
+            clock=_Clock(),
+            obs=obs,
+        )
+        pending = service.engine.submit(ScoreRequest("u1", "t=1"))
+        service.engine.drain()
+        with pytest.raises(RuntimeError):
+            pending.result(timeout=0)
+        assert obs.metrics.counter("serving.failed").value == 1
