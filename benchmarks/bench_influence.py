@@ -1,0 +1,154 @@
+"""P4: gradient store speedup — repeated influence scoring + gamma sweep.
+
+TracSeq's cost is dominated by per-(checkpoint, example) backward
+passes.  The :class:`~repro.influence.GradientStore` makes each such
+row a compute-once artifact, so a repeated-scoring workload (the
+serving reality: the same validation set scored against the same
+checkpoints, call after call) and a gamma sweep (the Table-2 ablation)
+collapse to one gradient pass plus cheap recombination.
+
+This benchmark runs the same workload twice — once with caching
+disabled (``max_entries=0``, the pre-store behavior of recomputing
+every call) and once against a shared store — and asserts
+
+* >= 3x wall-clock speedup (ISSUE-3 acceptance), and
+* numerically identical scores from both paths.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.eval import format_table
+from repro.influence import GradientProjector, GradientStore, TracSeq, trainable_parameters
+from repro.nn import MistralTiny, ModelConfig
+from repro.obs import Observability
+from repro.optim import AdamW
+from repro.training import CheckpointManager, Trainer, TrainingConfig
+
+from conftest import save_result
+
+SEED = 0
+N_TRAIN, N_TEST = 24, 6
+SEQ_LEN = 8
+PROJECTION_K = 64
+N_REPEAT_SCORES = 2
+GAMMAS = (0.5, 0.7, 0.9, 1.0)
+MIN_SPEEDUP = 3.0
+
+
+@pytest.fixture(scope="module")
+def replay_setup(tmp_path_factory):
+    """A tiny trained model with checkpoints, plus train/test token sets."""
+    config = ModelConfig(
+        vocab_size=64, d_model=32, n_layers=2, n_heads=4, n_kv_heads=2,
+        d_ff=64, max_seq_len=32, sliding_window=16,
+    )
+    model = MistralTiny(config, rng=SEED)
+    rng = np.random.default_rng(SEED)
+    make = lambda: (lambda ids: (ids, ids))(list(rng.integers(5, 60, size=SEQ_LEN)))
+    train = [make() for _ in range(N_TRAIN)]
+    test = [make() for _ in range(N_TEST)]
+    ckpt_dir = tmp_path_factory.mktemp("ckpt")
+    manager = CheckpointManager(ckpt_dir)
+    trainer = Trainer(
+        model,
+        AdamW(model.parameters(), lr=3e-3),
+        TrainingConfig(epochs=2, batch_size=6, checkpoint_every=2, shuffle=False, seed=SEED),
+        checkpoint_manager=manager,
+    )
+    trainer.train(train)
+    return model, manager.checkpoints(), train, test
+
+
+def _projector(model):
+    dim = sum(p.size for p in trainable_parameters(model))
+    return GradientProjector(dim, k=PROJECTION_K, seed=SEED)
+
+
+def _workload(model, checkpoints, train, test, store_factory):
+    """Repeated scoring + gamma sweep; returns (results, elapsed seconds).
+
+    ``store_factory()`` supplies the store for every tracer the workload
+    builds — a shared live store for the cached arm, a ``max_entries=0``
+    store (nothing retained, the pre-store recompute-everything
+    behavior) for the uncached arm.
+    """
+    results: dict[str, np.ndarray] = {}
+    started = time.perf_counter()
+    projector = _projector(model)
+    tracer = TracSeq(model, checkpoints, gamma=0.9, projector=projector,
+                     store=store_factory())
+    for call in range(N_REPEAT_SCORES):
+        results[f"scores_call{call}"] = tracer.scores(train, test)
+    for gamma in GAMMAS:
+        sweep = TracSeq(model, checkpoints, gamma=gamma, projector=projector,
+                        store=store_factory())
+        results[f"gamma_{gamma}"] = sweep.scores(train, test)
+    return results, time.perf_counter() - started
+
+
+def test_gradient_store_speedup(replay_setup):
+    model, checkpoints, train, test = replay_setup
+
+    uncached, t_uncached = _workload(
+        model, checkpoints, train, test, lambda: GradientStore(max_entries=0)
+    )
+    shared = GradientStore()
+    cached, t_cached = _workload(
+        model, checkpoints, train, test, lambda: shared
+    )
+
+    for key, expected in uncached.items():
+        np.testing.assert_allclose(
+            cached[key], expected, rtol=0, atol=1e-10,
+            err_msg=f"cached result diverged for {key}",
+        )
+
+    speedup = t_uncached / t_cached
+    n_calls = N_REPEAT_SCORES + len(GAMMAS)
+    stats = shared.stats()
+    rows = [
+        ["uncached (recompute per call)", n_calls, f"{t_uncached:.2f}", "1.0x"],
+        ["gradient store (shared)", n_calls, f"{t_cached:.2f}", f"{speedup:.1f}x"],
+    ]
+    table = format_table(
+        ["Influence workload", "Scoring calls", "Seconds", "Speedup"],
+        rows,
+        title=(
+            f"Gradient store: {len(checkpoints)} checkpoints, "
+            f"{N_TRAIN}+{N_TEST} examples, k={PROJECTION_K} "
+            f"(hits={int(stats['hits_memory'])}, misses={int(stats['misses'])})"
+        ),
+    )
+    save_result("influence", table)
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"gradient store speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor "
+        f"(uncached {t_uncached:.2f}s vs cached {t_cached:.2f}s)"
+    )
+
+
+def test_disk_tier_warm_start(replay_setup, tmp_path):
+    """A fresh process-equivalent (new store, same cache_dir) takes zero passes."""
+    model, checkpoints, train, test = replay_setup
+    cache_dir = tmp_path / "gradcache"
+    projector = _projector(model)
+
+    warm = TracSeq(model, checkpoints, gamma=0.9, projector=projector,
+                   cache_dir=cache_dir)
+    expected = warm.scores(train, test)
+
+    obs = Observability.create()
+    cold_store = GradientStore(cache_dir=cache_dir, obs=obs)
+    restarted = TracSeq(model, checkpoints, gamma=0.9, projector=projector,
+                        store=cold_store, obs=obs)
+    got = restarted.scores(train, test)
+
+    np.testing.assert_allclose(got, expected, rtol=0, atol=1e-10)
+    counters = obs.metrics.snapshot()["counters"]
+    assert counters.get("influence.gradient_passes", 0) == 0
+    assert cold_store.stats()["hits_disk"] > 0

@@ -117,7 +117,13 @@ def cmd_pipeline(args) -> int:
     pipeline = ZiGongPipeline(
         PipelineConfig(
             zigong=_zigong_config(args),
-            pruner=PrunerConfig(strategy=args.strategy, gamma=args.gamma, seed=args.seed),
+            pruner=PrunerConfig(
+                strategy=args.strategy,
+                gamma=args.gamma,
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+                seed=args.seed,
+            ),
             pruned_fraction=args.pruned_fraction,
             seed=args.seed,
         )
@@ -192,6 +198,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=400)
     p.add_argument("--strategy", default="tracseq")
     p.add_argument("--gamma", type=float, default=0.9)
+    p.add_argument("--workers", type=int, default=0,
+                   help="process-pool size for influence checkpoint replay (0 = in-process)")
+    p.add_argument("--cache-dir", default=None,
+                   help="directory for the gradient store's disk tier (reused across runs)")
     p.add_argument("--pruned-fraction", type=float, default=0.3)
     p.add_argument("--epochs", type=int, default=8)
     p.add_argument("--lr", type=float, default=5e-3)

@@ -42,6 +42,11 @@ class PrunerConfig:
     ``normalize_gradients`` switches the gradient dot products to cosine
     similarity (LESS-style), removing the magnitude bias of raw
     influence sums.
+
+    ``workers`` fans checkpoint replays out across a process pool, and
+    ``cache_dir`` adds a disk tier to the gradient store so repeated
+    scoring runs (or gamma sweeps) reuse previously computed rows — see
+    ``docs/influence.md``.
     """
 
     strategy: str = "tracseq"
@@ -50,6 +55,8 @@ class PrunerConfig:
     projection_dim: int | None = 128
     agent_features: int = 256
     normalize_gradients: bool = False
+    workers: int = 0
+    cache_dir: str | None = None
     seed: int = 0
 
     def __post_init__(self):
@@ -57,6 +64,8 @@ class PrunerConfig:
             raise InfluenceError(f"unknown strategy {self.strategy!r}; choose from {STRATEGIES}")
         if not 0.0 < self.gamma <= 1.0:
             raise InfluenceError(f"gamma must be in (0, 1], got {self.gamma}")
+        if self.workers < 0:
+            raise InfluenceError(f"workers must be non-negative, got {self.workers}")
 
 
 class DataPruner:
@@ -79,10 +88,12 @@ class DataPruner:
             return TracInCP(
                 zigong.model, checkpoints, projector=projector,
                 normalize=cfg.normalize_gradients,
+                workers=cfg.workers, cache_dir=cfg.cache_dir,
             )
         return TracSeq(
             zigong.model, checkpoints, gamma=cfg.gamma, projector=projector,
             normalize=cfg.normalize_gradients,
+            workers=cfg.workers, cache_dir=cfg.cache_dir,
         )
 
     def score(

@@ -1,6 +1,13 @@
-"""Training-data influence estimation: TracInCP, TracSeq, agent scoring."""
+"""Training-data influence estimation: TracInCP, TracSeq, agent scoring.
+
+Gradient work is cached in a :class:`GradientStore` and optionally
+parallelized by a :class:`ParallelInfluenceEngine` (see
+``docs/influence.md``).
+"""
 
 from repro.influence.agent import AgentScorer
+from repro.influence.engine import ParallelInfluenceEngine, projector_key
+from repro.influence.store import GradientStore, example_content_hash
 from repro.influence.gradients import (
     GradientProjector,
     flatten_grads,
@@ -24,6 +31,10 @@ __all__ = [
     "TracInCP",
     "TracSeq",
     "AgentScorer",
+    "GradientStore",
+    "ParallelInfluenceEngine",
+    "example_content_hash",
+    "projector_key",
     "GradientProjector",
     "per_sample_gradient",
     "gradient_matrix",

@@ -1,0 +1,317 @@
+"""Influence computation engine: cached gradient rows, parallel replay.
+
+The engine owns the expensive half of TracInCP / TracSeq: producing a
+projected gradient row per ``(checkpoint, example)`` pair.  Rows are
+cached in a :class:`~repro.influence.store.GradientStore`, so only the
+pairs the store has never seen take a backward pass; everything else —
+repeated ``scores()`` calls, ``checkpoint_products``, gamma sweeps — is
+recombination of stored rows via chunked matmuls that keep peak memory
+at ``chunk_size × n_test`` floats regardless of corpus size.
+
+With ``workers > 1`` the missing checkpoint replays fan out across a
+``multiprocessing`` pool (fork start method): each worker inherits a
+copy of the model, restores its assigned checkpoint from the ``.npz``
+on disk, and streams gradient rows back to the parent, which records an
+``influence.worker`` span per completed job.  Workers rely on
+:class:`~repro.influence.gradients.GradientProjector` being
+deterministic for a given seed across processes, which is pinned by
+test.
+
+Numerics are identical to the serial in-process path: rows are computed
+by the same :func:`~repro.influence.gradients.gradient_matrix` either
+way, and the recombination applies weights per checkpoint exactly as
+the unbatched implementation did.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InfluenceError
+from repro.influence.gradients import GradientProjector, TokenExample, gradient_matrix
+from repro.influence.store import GradientStore, example_content_hash
+from repro.obs import Observability, get_observability
+from repro.training.checkpoint import CheckpointManager, CheckpointRecord
+
+# Worker-process state, installed by the pool initializer.  With the
+# fork start method the initargs are inherited, not pickled.
+_WORKER: dict = {}
+
+
+def _worker_init(model, projector) -> None:
+    _WORKER["model"] = model
+    _WORKER["projector"] = projector
+
+
+def _worker_replay(payload):
+    """Restore one checkpoint in this worker and compute gradient rows."""
+    step, path, examples = payload
+    started = time.perf_counter()
+    model = _WORKER["model"]
+    with np.load(path) as data:
+        model.load_state_dict({name: data[name] for name in data.files})
+    rows = gradient_matrix(model, examples, _WORKER["projector"])
+    return step, rows, time.perf_counter() - started
+
+
+def projector_key(projector: GradientProjector | None) -> str:
+    """Cache-key component identifying the projection (or its absence)."""
+    if projector is None:
+        return "exact"
+    return projector.key()
+
+
+class ParallelInfluenceEngine:
+    """Computes influence quantities through a gradient store.
+
+    Parameters
+    ----------
+    model / checkpoints / projector / normalize:
+        As in :class:`~repro.influence.tracin.TracInCP`; the model's
+        parameters are saved and restored around every computation.
+    store:
+        Gradient row cache; defaults to a fresh in-memory
+        :class:`GradientStore`.  Pass one store to several engines (or
+        tracers) to share rows across gamma sweeps and repeated calls.
+    workers:
+        ``0`` or ``1`` computes in-process; ``> 1`` fans missing
+        checkpoint replays out across a fork-based process pool.
+    chunk_size:
+        Train rows per matmul block during recombination.
+    """
+
+    def __init__(
+        self,
+        model,
+        checkpoints: Sequence[CheckpointRecord],
+        projector: GradientProjector | None = None,
+        normalize: bool = False,
+        store: GradientStore | None = None,
+        workers: int = 0,
+        chunk_size: int = 256,
+        obs: Observability | None = None,
+    ):
+        if not checkpoints:
+            raise InfluenceError("influence engine requires at least one checkpoint")
+        if workers < 0:
+            raise InfluenceError(f"workers must be non-negative, got {workers}")
+        if chunk_size <= 0:
+            raise InfluenceError(f"chunk_size must be positive, got {chunk_size}")
+        self.model = model
+        self.checkpoints = sorted(checkpoints, key=lambda r: r.step)
+        self.projector = projector
+        self.normalize = normalize
+        self.obs = obs or get_observability()
+        self.store = store if store is not None else GradientStore(obs=self.obs)
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self._pkey = projector_key(projector)
+        metrics = self.obs.metrics
+        self._m_replays = metrics.counter("influence.checkpoints_replayed")
+        self._m_gradient_passes = metrics.counter("influence.gradient_passes")
+        self._h_worker = metrics.histogram("influence.worker_s")
+
+    # -- row production ------------------------------------------------
+
+    def _hashes(self, examples: Sequence[TokenExample]) -> list[str]:
+        return [example_content_hash(example) for example in examples]
+
+    def _unique(self, examples, hashes) -> dict[str, TokenExample]:
+        unique: dict[str, TokenExample] = {}
+        for example, example_hash in zip(examples, hashes):
+            unique.setdefault(example_hash, example)
+        return unique
+
+    def _checkpoint_rows(
+        self, record: CheckpointRecord, unique: dict[str, TokenExample]
+    ) -> dict[str, np.ndarray]:
+        """Rows for every unique example at one checkpoint (compute missing)."""
+        fetched: dict[str, np.ndarray] = {}
+        missing: dict[str, TokenExample] = {}
+        for example_hash, example in unique.items():
+            row = self.store.get(record.step, example_hash, self._pkey)
+            if row is None:
+                missing[example_hash] = example
+            else:
+                fetched[example_hash] = row
+        if missing:
+            CheckpointManager.restore(self.model, record)
+            rows = gradient_matrix(self.model, list(missing.values()), self.projector)
+            for example_hash, row in zip(missing, rows):
+                self.store.put(record.step, example_hash, self._pkey, row)
+                fetched[example_hash] = row
+            self._m_replays.inc()
+            self._m_gradient_passes.inc(len(missing))
+        return fetched
+
+    def _prefetch(self, unique: dict[str, TokenExample]) -> None:
+        """Fan missing checkpoint replays out across a process pool."""
+        if self.workers <= 1:
+            return
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return  # platform without fork: fall back to in-process replay
+        jobs = []
+        for record in self.checkpoints:
+            missing = {
+                example_hash: example
+                for example_hash, example in unique.items()
+                if not self.store.contains(record.step, example_hash, self._pkey)
+            }
+            if missing:
+                jobs.append((record, missing))
+        if not jobs:
+            return
+        ctx = multiprocessing.get_context("fork")
+        payloads = [
+            (record.step, str(record.path), list(missing.values()))
+            for record, missing in jobs
+        ]
+        with self.obs.span(
+            "influence.prefetch", n_jobs=len(jobs), workers=self.workers
+        ):
+            with ctx.Pool(
+                processes=min(self.workers, len(jobs)),
+                initializer=_worker_init,
+                initargs=(self.model, self.projector),
+            ) as pool:
+                for (record, missing), (step, rows, worker_s) in zip(
+                    jobs, pool.imap(_worker_replay, payloads)
+                ):
+                    with self.obs.span(
+                        "influence.worker",
+                        step=step,
+                        n_rows=len(missing),
+                        worker_s=worker_s,
+                    ):
+                        for example_hash, row in zip(missing, rows):
+                            self.store.put(record.step, example_hash, self._pkey, row)
+                    self._h_worker.observe(worker_s)
+                    self._m_replays.inc()
+                    self._m_gradient_passes.inc(len(missing))
+        self.store.flush()
+
+    def _stack(self, rows: dict[str, np.ndarray], hashes: Sequence[str]) -> np.ndarray:
+        matrix = np.stack([rows[example_hash] for example_hash in hashes])
+        if self.normalize:
+            norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+            matrix = matrix / np.maximum(norms, 1e-12)
+        return matrix
+
+    # -- recombination -------------------------------------------------
+
+    def _accumulate_outer(self, total, g_train, g_test, weight) -> None:
+        """``total += weight * g_train @ g_test.T`` in bounded-memory chunks."""
+        for start in range(0, g_train.shape[0], self.chunk_size):
+            stop = start + self.chunk_size
+            total[start:stop] += weight * (g_train[start:stop] @ g_test.T)
+
+    def influence_matrix(
+        self,
+        train_examples: Sequence[TokenExample],
+        test_examples: Sequence[TokenExample],
+        weights: Sequence[float],
+        span_name: str = "influence.matrix",
+    ) -> np.ndarray:
+        """Weighted pairwise influence, shape ``(n_train, n_test)``."""
+        if not train_examples or not test_examples:
+            raise InfluenceError("influence_matrix() needs non-empty train and test sets")
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape[0] != len(self.checkpoints):
+            raise InfluenceError(
+                f"{weights.shape[0]} weights for {len(self.checkpoints)} checkpoints"
+            )
+        train_hashes = self._hashes(train_examples)
+        test_hashes = self._hashes(test_examples)
+        unique = self._unique(
+            list(train_examples) + list(test_examples), train_hashes + test_hashes
+        )
+        saved = self.model.state_dict()
+        try:
+            total = np.zeros((len(train_examples), len(test_examples)))
+            with self.obs.span(
+                span_name,
+                n_train=len(train_examples),
+                n_test=len(test_examples),
+                n_checkpoints=len(self.checkpoints),
+            ):
+                self._prefetch(unique)
+                for index, record in enumerate(self.checkpoints):
+                    with self.obs.span("influence.checkpoint", step=record.step):
+                        rows = self._checkpoint_rows(record, unique)
+                        g_train = self._stack(rows, train_hashes)
+                        g_test = self._stack(rows, test_hashes)
+                        self._accumulate_outer(total, g_train, g_test, weights[index])
+            return total
+        finally:
+            self.model.load_state_dict(saved)
+            self.store.flush()
+            self.store.flush()
+
+    def checkpoint_products(
+        self,
+        train_examples: Sequence[TokenExample],
+        test_examples: Sequence[TokenExample],
+    ) -> np.ndarray:
+        """Unweighted per-checkpoint products, shape ``(n_ckpt, n_train)``."""
+        if not train_examples or not test_examples:
+            raise InfluenceError("checkpoint_products() needs non-empty train and test sets")
+        train_hashes = self._hashes(train_examples)
+        test_hashes = self._hashes(test_examples)
+        unique = self._unique(
+            list(train_examples) + list(test_examples), train_hashes + test_hashes
+        )
+        saved = self.model.state_dict()
+        try:
+            out = []
+            with self.obs.span(
+                "influence.products",
+                n_train=len(train_examples),
+                n_test=len(test_examples),
+                n_checkpoints=len(self.checkpoints),
+            ):
+                self._prefetch(unique)
+                for record in self.checkpoints:
+                    with self.obs.span("influence.checkpoint", step=record.step):
+                        rows = self._checkpoint_rows(record, unique)
+                        g_train = self._stack(rows, train_hashes)
+                        g_test = self._stack(rows, test_hashes)
+                        test_sum = g_test.sum(axis=0)
+                        out.append(g_train @ test_sum)
+            return np.stack(out)
+        finally:
+            self.model.load_state_dict(saved)
+            self.store.flush()
+
+    def self_influence(
+        self,
+        train_examples: Sequence[TokenExample],
+        weights: Sequence[float],
+    ) -> np.ndarray:
+        """Weighted self-influence diagonal, shape ``(n_train,)``."""
+        if not train_examples:
+            raise InfluenceError("self_influence() needs a non-empty train set")
+        weights = np.asarray(weights, dtype=np.float64)
+        train_hashes = self._hashes(train_examples)
+        unique = self._unique(list(train_examples), train_hashes)
+        saved = self.model.state_dict()
+        try:
+            total = np.zeros(len(train_examples))
+            with self.obs.span(
+                "influence.self",
+                n_train=len(train_examples),
+                n_checkpoints=len(self.checkpoints),
+            ):
+                self._prefetch(unique)
+                for index, record in enumerate(self.checkpoints):
+                    with self.obs.span("influence.checkpoint", step=record.step):
+                        rows = self._checkpoint_rows(record, unique)
+                        g_train = self._stack(rows, train_hashes)
+                        total += weights[index] * (g_train * g_train).sum(axis=1)
+            return total
+        finally:
+            self.model.load_state_dict(saved)
+            self.store.flush()

@@ -8,6 +8,8 @@ is the adapter subspace, which is exactly the space fine-tuning moves in.
 
 from __future__ import annotations
 
+import hashlib
+import warnings
 from typing import Sequence
 
 import numpy as np
@@ -61,16 +63,42 @@ class GradientProjector:
 
     Johnson–Lindenstrauss: dot products are preserved in expectation, so
     projected TracIn scores approximate the exact ones at a fraction of
-    the memory.  Deterministic given ``seed``.
+    the memory.  Deterministic given ``seed`` — including *across
+    processes*: the matrix is derived solely from
+    ``numpy.random.default_rng(seed)``, never from process state, so the
+    parallel influence engine's workers reproduce the parent's sketch
+    exactly (pinned by a subprocess test via :meth:`fingerprint`).
+
+    A ``k`` larger than ``dim`` is clamped to ``dim`` with a
+    ``RuntimeWarning`` — two runs configured with different over-large
+    ``k`` would otherwise silently produce identical sketches.  The
+    requested value stays available as :attr:`requested_k`.
     """
 
     def __init__(self, dim: int, k: int = 256, seed: int = 0):
         if k <= 0 or dim <= 0:
             raise InfluenceError("projection dims must be positive")
         self.dim = dim
+        self.seed = seed
+        self.requested_k = k
+        if k > dim:
+            warnings.warn(
+                f"projection k={k} exceeds gradient dim={dim}; clamping to k={dim} "
+                "(sketches with any k >= dim are identical)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self.k = min(k, dim)
         rng = np.random.default_rng(seed)
         self._matrix = rng.standard_normal((dim, self.k)) / np.sqrt(self.k)
+
+    def key(self) -> str:
+        """Cache-key component: effective projection identity."""
+        return f"p{self.seed}-k{self.k}-d{self.dim}"
+
+    def fingerprint(self) -> str:
+        """Content hash of the projection matrix (determinism checks)."""
+        return hashlib.sha1(np.ascontiguousarray(self._matrix).tobytes()).hexdigest()
 
     def project(self, vec: np.ndarray) -> np.ndarray:
         if vec.shape[-1] != self.dim:

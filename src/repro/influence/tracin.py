@@ -8,6 +8,14 @@ sample ``z'`` is approximated by replaying stored checkpoints,
 where ``eta_i`` is the learning rate in effect at checkpoint ``i``.
 :class:`~repro.influence.tracseq.TracSeq` extends this with the paper's
 time-decay factor.
+
+All gradient work routes through a
+:class:`~repro.influence.engine.ParallelInfluenceEngine` backed by a
+:class:`~repro.influence.store.GradientStore`: each ``(checkpoint,
+example)`` gradient row is computed at most once per store, so repeated
+``scores()`` calls, ``checkpoint_products`` and gamma sweeps reuse the
+cached rows instead of redoing the backward passes
+(``benchmarks/bench_influence.py`` measures the effect).
 """
 
 from __future__ import annotations
@@ -17,9 +25,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import InfluenceError
-from repro.influence.gradients import GradientProjector, TokenExample, gradient_matrix
+from repro.influence.engine import ParallelInfluenceEngine
+from repro.influence.gradients import GradientProjector, TokenExample
+from repro.influence.store import GradientStore
 from repro.obs import Observability, get_observability
-from repro.training.checkpoint import CheckpointManager, CheckpointRecord
+from repro.training.checkpoint import CheckpointRecord
 
 
 class TracInCP:
@@ -36,12 +46,21 @@ class TracInCP:
         Optional :class:`GradientProjector`; with many samples the
         sketched computation is much cheaper and near-identical in
         ranking.
+    store / cache_dir:
+        Gradient row cache.  By default each tracer gets a private
+        in-memory :class:`GradientStore`; pass an explicit ``store`` to
+        share rows across tracers (e.g. a gamma sweep), or ``cache_dir``
+        to add a disk tier next to the checkpoints.
+    workers:
+        ``> 1`` fans missing checkpoint replays out across a process
+        pool (see :class:`ParallelInfluenceEngine`).
     obs:
         Observability hub; every checkpoint replay is timed in an
         ``influence.checkpoint`` span (child of the surrounding
         ``influence.matrix`` / ``influence.self`` span) and counted,
         so the dominant cost of attribution — gradient passes — shows
-        up in traces and metrics.
+        up in traces and metrics, alongside ``influence.store.*`` cache
+        hit/miss/byte counts.
     """
 
     def __init__(
@@ -51,6 +70,10 @@ class TracInCP:
         projector: GradientProjector | None = None,
         normalize: bool = False,
         obs: Observability | None = None,
+        store: GradientStore | None = None,
+        cache_dir=None,
+        workers: int = 0,
+        chunk_size: int = 256,
     ):
         if not checkpoints:
             raise InfluenceError("TracInCP requires at least one checkpoint")
@@ -59,23 +82,36 @@ class TracInCP:
         self.projector = projector
         # Cosine-similarity variant (LESS-style): unit-normalize gradients
         # so large-gradient (high-loss / majority-aligned) samples cannot
-        # dominate purely by magnitude.
+        # dominate purely by magnitude.  Rows are stored raw; the engine
+        # normalizes at recombination time, so one store serves both modes.
         self.normalize = normalize
         self.obs = obs or get_observability()
-        metrics = self.obs.metrics
-        self._m_replays = metrics.counter("influence.checkpoints_replayed")
-        self._m_gradient_passes = metrics.counter("influence.gradient_passes")
-
-    def _grads(self, examples: Sequence[TokenExample]) -> np.ndarray:
-        matrix = gradient_matrix(self.model, examples, self.projector)
-        if self.normalize:
-            norms = np.linalg.norm(matrix, axis=1, keepdims=True)
-            matrix = matrix / np.maximum(norms, 1e-12)
-        return matrix
+        if store is None and cache_dir is not None:
+            store = GradientStore(cache_dir=cache_dir, obs=self.obs)
+        self.engine = ParallelInfluenceEngine(
+            model,
+            self.checkpoints,
+            projector=projector,
+            normalize=normalize,
+            store=store,
+            workers=workers,
+            chunk_size=chunk_size,
+            obs=self.obs,
+        )
+        self.store = self.engine.store
 
     def _checkpoint_weight(self, index: int, record: CheckpointRecord) -> float:
         """Multiplier for checkpoint ``index``; TracInCP uses ``eta_i`` only."""
         return record.lr
+
+    def _weights(self) -> np.ndarray:
+        return np.array(
+            [
+                self._checkpoint_weight(index, record)
+                for index, record in enumerate(self.checkpoints)
+            ],
+            dtype=np.float64,
+        )
 
     def influence_matrix(
         self,
@@ -83,29 +119,7 @@ class TracInCP:
         test_examples: Sequence[TokenExample],
     ) -> np.ndarray:
         """Pairwise influence, shape ``(n_train, n_test)``."""
-        if not train_examples or not test_examples:
-            raise InfluenceError("influence_matrix() needs non-empty train and test sets")
-        saved = self.model.state_dict()
-        try:
-            total = np.zeros((len(train_examples), len(test_examples)))
-            with self.obs.span(
-                "influence.matrix",
-                n_train=len(train_examples),
-                n_test=len(test_examples),
-                n_checkpoints=len(self.checkpoints),
-            ):
-                for index, record in enumerate(self.checkpoints):
-                    with self.obs.span("influence.checkpoint", step=record.step):
-                        CheckpointManager.restore(self.model, record)
-                        g_train = self._grads(train_examples)
-                        g_test = self._grads(test_examples)
-                        weight = self._checkpoint_weight(index, record)
-                        total += weight * (g_train @ g_test.T)
-                    self._m_replays.inc()
-                    self._m_gradient_passes.inc(len(train_examples) + len(test_examples))
-            return total
-        finally:
-            self.model.load_state_dict(saved)
+        return self.engine.influence_matrix(train_examples, test_examples, self._weights())
 
     def scores(
         self,
@@ -130,50 +144,14 @@ class TracInCP:
             products = tracer.checkpoint_products(train, test)
             lrs = np.array([r.lr for r in tracer.checkpoints])
             scores = (weights * lrs) @ products
+
+        With the gradient store this really is recomputation-free: the
+        rows behind the products are cached, so a following
+        ``scores()`` call (or another tracer sharing the store) reuses
+        them.
         """
-        if not train_examples or not test_examples:
-            raise InfluenceError("checkpoint_products() needs non-empty train and test sets")
-        saved = self.model.state_dict()
-        try:
-            rows = []
-            with self.obs.span(
-                "influence.products",
-                n_train=len(train_examples),
-                n_test=len(test_examples),
-                n_checkpoints=len(self.checkpoints),
-            ):
-                for record in self.checkpoints:
-                    with self.obs.span("influence.checkpoint", step=record.step):
-                        CheckpointManager.restore(self.model, record)
-                        g_train = self._grads(train_examples)
-                        g_test = self._grads(test_examples)
-                        rows.append(g_train @ g_test.sum(axis=0))
-                    self._m_replays.inc()
-                    self._m_gradient_passes.inc(len(train_examples) + len(test_examples))
-            return np.stack(rows)
-        finally:
-            self.model.load_state_dict(saved)
+        return self.engine.checkpoint_products(train_examples, test_examples)
 
     def self_influence(self, train_examples: Sequence[TokenExample]) -> np.ndarray:
         """TracIn self-influence (diagonal); high values flag outliers."""
-        if not train_examples:
-            raise InfluenceError("self_influence() needs a non-empty train set")
-        saved = self.model.state_dict()
-        try:
-            total = np.zeros(len(train_examples))
-            with self.obs.span(
-                "influence.self",
-                n_train=len(train_examples),
-                n_checkpoints=len(self.checkpoints),
-            ):
-                for index, record in enumerate(self.checkpoints):
-                    with self.obs.span("influence.checkpoint", step=record.step):
-                        CheckpointManager.restore(self.model, record)
-                        g_train = self._grads(train_examples)
-                        weight = self._checkpoint_weight(index, record)
-                        total += weight * (g_train * g_train).sum(axis=1)
-                    self._m_replays.inc()
-                    self._m_gradient_passes.inc(len(train_examples))
-            return total
-        finally:
-            self.model.load_state_dict(saved)
+        return self.engine.self_influence(train_examples, self._weights())

@@ -47,8 +47,22 @@ class TracSeq(TracInCP):
         projector: GradientProjector | None = None,
         normalize: bool = False,
         obs: Observability | None = None,
+        store=None,
+        cache_dir=None,
+        workers: int = 0,
+        chunk_size: int = 256,
     ):
-        super().__init__(model, checkpoints, projector=projector, normalize=normalize, obs=obs)
+        super().__init__(
+            model,
+            checkpoints,
+            projector=projector,
+            normalize=normalize,
+            obs=obs,
+            store=store,
+            cache_dir=cache_dir,
+            workers=workers,
+            chunk_size=chunk_size,
+        )
         if not 0.0 < gamma <= 1.0:
             raise InfluenceError(f"gamma must be in (0, 1], got {gamma}")
         self.gamma = gamma
@@ -79,23 +93,30 @@ class TracSeq(TracInCP):
         ``test_time`` defaults to the newest sample time.  Each row of
         the influence matrix is multiplied by
         ``gamma ** (test_time - sample_times[j])``.
+
+        Arguments are validated *before* any gradient work: a bad
+        ``sample_times`` must fail in microseconds, not after hours of
+        checkpoint replay.
         """
+        ages = None
+        if sample_times is not None:
+            times = np.asarray(sample_times, dtype=np.float64)
+            if times.shape[0] != len(train_examples):
+                raise InfluenceError(
+                    f"{times.shape[0]} sample_times for {len(train_examples)} train examples"
+                )
+            horizon = float(test_time) if test_time is not None else float(times.max())
+            ages = horizon - times
+            if (ages < 0).any():
+                raise InfluenceError("sample_times contains timestamps after test_time")
         with self.obs.span(
             "influence.tracseq.scores",
             n_train=len(train_examples),
             n_test=len(test_examples),
             gamma=self.gamma,
+            sample_decay=ages is not None,
         ):
             base = self.influence_matrix(train_examples, test_examples).sum(axis=1)
-        if sample_times is None:
-            return base
-        times = np.asarray(sample_times, dtype=np.float64)
-        if times.shape[0] != len(train_examples):
-            raise InfluenceError(
-                f"{times.shape[0]} sample_times for {len(train_examples)} train examples"
-            )
-        horizon = float(test_time) if test_time is not None else float(times.max())
-        ages = horizon - times
-        if (ages < 0).any():
-            raise InfluenceError("sample_times contains timestamps after test_time")
-        return base * (self.gamma**ages)
+            if ages is None:
+                return base
+            return base * (self.gamma**ages)

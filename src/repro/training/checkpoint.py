@@ -4,11 +4,19 @@ TracInCP / TracSeq replay training through stored checkpoints, so each
 checkpoint records both the parameter state (``.npz``) and the learning
 rate in effect (``.json`` sidecar) — the step size :math:`\\eta_i` in
 Eq. 1 of the paper.
+
+Writes are atomic: both files are staged under temporary names and
+renamed into place, metadata sidecar first.  A crash mid-save therefore
+never leaves a ``.npz`` without its sidecar, and :meth:`checkpoints`
+tolerates (skips, with a warning) orphans left behind by older writers
+instead of failing the whole directory listing.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -16,6 +24,7 @@ import numpy as np
 
 from repro.errors import CheckpointError
 from repro.nn.module import Module
+from repro.obs import Observability, get_observability
 
 
 @dataclass(frozen=True)
@@ -38,22 +47,44 @@ class CheckpointManager:
     ``step-000042.json`` (step, learning rate, extra metadata).
     """
 
-    def __init__(self, directory: str | Path, keep: int | None = None):
+    def __init__(
+        self,
+        directory: str | Path,
+        keep: int | None = None,
+        obs: Observability | None = None,
+    ):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         if keep is not None and keep <= 0:
             raise CheckpointError(f"keep must be positive or None, got {keep}")
         self.keep = keep
+        self.obs = obs or get_observability()
+        self._m_orphans = self.obs.metrics.counter("checkpoint.orphans_skipped")
 
     def save(self, model: Module, step: int, lr: float, extra: dict | None = None) -> CheckpointRecord:
-        """Persist the model state at ``step`` trained with rate ``lr``."""
+        """Persist the model state at ``step`` trained with rate ``lr``.
+
+        Both files are written to temporaries and renamed into place —
+        sidecar first, so an interrupted save leaves either nothing
+        visible or a complete checkpoint, never an orphan ``.npz``.
+        """
         path = self.directory / f"step-{step:06d}.npz"
-        state = model.state_dict()
-        np.savez(path, **state)
-        meta = {"step": step, "lr": lr}
-        if extra:
-            meta.update(extra)
-        path.with_suffix(".json").write_text(json.dumps(meta))
+        meta_path = path.with_suffix(".json")
+        tmp_npz = self.directory / f".step-{step:06d}.tmp.npz"
+        tmp_json = self.directory / f".step-{step:06d}.tmp.json"
+        try:
+            np.savez(tmp_npz, **model.state_dict())
+            meta = {"step": step, "lr": lr}
+            if extra:
+                meta.update(extra)
+            tmp_json.write_text(json.dumps(meta))
+            # Sidecar first: a lone .json is invisible to checkpoints(),
+            # a lone .npz would be an orphan.
+            os.replace(tmp_json, meta_path)
+            os.replace(tmp_npz, path)
+        finally:
+            tmp_npz.unlink(missing_ok=True)
+            tmp_json.unlink(missing_ok=True)
         record = CheckpointRecord(step=step, lr=lr, path=path)
         if self.keep is not None:
             self._prune()
@@ -66,12 +97,24 @@ class CheckpointManager:
             record.meta_path.unlink(missing_ok=True)
 
     def checkpoints(self) -> list[CheckpointRecord]:
-        """All stored checkpoints, ordered by step."""
+        """All stored checkpoints, ordered by step.
+
+        A ``.npz`` without its ``.json`` sidecar (partial write by an
+        older/foreign writer) is skipped with a warning instead of
+        failing the listing for the entire directory.
+        """
         records = []
         for path in sorted(self.directory.glob("step-*.npz")):
             meta_path = path.with_suffix(".json")
             if not meta_path.exists():
-                raise CheckpointError(f"checkpoint {path} has no metadata sidecar")
+                warnings.warn(
+                    f"skipping orphan checkpoint {path} (no metadata sidecar)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._m_orphans.inc()
+                self.obs.event("checkpoint.orphan_skipped", path=str(path))
+                continue
             meta = json.loads(meta_path.read_text())
             records.append(CheckpointRecord(step=int(meta["step"]), lr=float(meta["lr"]), path=path))
         records.sort(key=lambda r: r.step)

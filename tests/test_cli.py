@@ -88,3 +88,29 @@ class TestPipelineCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "Pipeline result" in out
+
+    def test_workers_and_cache_dir_reach_pruner_config(self, tmp_path, monkeypatch):
+        """--workers/--cache-dir are threaded into the influence stage."""
+        import repro.cli as cli_mod
+
+        captured = {}
+
+        class FakePipeline:
+            def __init__(self, config):
+                captured["pruner"] = config.pruner
+                raise SystemExit(0)  # config captured; skip the real run
+
+        monkeypatch.setattr(cli_mod, "ZiGongPipeline", FakePipeline)
+        cache_dir = tmp_path / "gradcache"
+        with pytest.raises(SystemExit):
+            main([
+                "pipeline", "--dataset", "german", "--n", "80",
+                "--workers", "3", "--cache-dir", str(cache_dir),
+            ])
+        assert captured["pruner"].workers == 3
+        assert captured["pruner"].cache_dir == str(cache_dir)
+
+    def test_negative_workers_rejected(self, capsys):
+        code = main(["pipeline", "--dataset", "german", "--n", "80", "--workers", "-2"])
+        assert code == 1
+        assert "workers" in capsys.readouterr().err

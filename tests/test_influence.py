@@ -94,9 +94,11 @@ class TestGradients:
         with pytest.raises(InfluenceError):
             projector.project(np.ones(11))
 
-    def test_projector_k_capped_at_dim(self):
-        projector = GradientProjector(5, k=100)
+    def test_projector_k_capped_at_dim_warns(self):
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            projector = GradientProjector(5, k=100)
         assert projector.k == 5
+        assert projector.requested_k == 100
 
     def test_no_trainable_params_raises(self, tiny_model):
         for p in tiny_model.parameters():
@@ -247,6 +249,16 @@ class TestSelection:
             split_high_low(np.arange(4), 0.0)
         with pytest.raises(InfluenceError):
             split_high_low(np.arange(4), 1.5)
+
+    def test_split_fraction_above_half_rejected(self):
+        """fraction > 0.5 would put samples in both groups (Figure 2 bug)."""
+        with pytest.raises(InfluenceError, match="disjoint"):
+            split_high_low(np.arange(10, dtype=np.float64), 0.51)
+
+    def test_split_boundary_half_is_disjoint_odd_n(self):
+        high, low = split_high_low(np.arange(9, dtype=np.float64), 0.5)
+        assert set(high).isdisjoint(set(low))
+        assert len(high) == len(low) == 4
 
     def test_normalize_scores_range(self):
         out = normalize_scores(np.array([2.0, 4.0, 6.0]))

@@ -97,12 +97,21 @@ class TestCheckpointManager:
         manager.save(tiny_model, step=3, lr=0.1)
         assert manager.latest().step == 3
 
-    def test_missing_sidecar_raises(self, tiny_model, tmp_path):
+    def test_orphan_npz_skipped_with_warning(self, tiny_model, tmp_path):
+        """A .npz without its sidecar must not fail the whole listing."""
         manager = CheckpointManager(tmp_path)
         record = manager.save(tiny_model, step=1, lr=0.1)
+        manager.save(tiny_model, step=2, lr=0.05)
         record.meta_path.unlink()
-        with pytest.raises(CheckpointError):
-            manager.checkpoints()
+        with pytest.warns(RuntimeWarning, match="orphan checkpoint"):
+            records = manager.checkpoints()
+        assert [r.step for r in records] == [2]
+
+    def test_atomic_save_leaves_no_temp_files(self, tiny_model, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(tiny_model, step=1, lr=0.1)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["step-000001.json", "step-000001.npz"]
 
     def test_invalid_keep(self, tmp_path):
         with pytest.raises(CheckpointError):
