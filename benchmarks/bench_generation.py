@@ -1,0 +1,258 @@
+"""P4: batched incremental decoding — sequential loop vs generate_batch.
+
+Not a paper table; quantifies what the generation fast path buys for
+CALM-style generative eval (the paper's Table-2 read-out is literally
+"generate and parse the answer").  Three measurements:
+
+* generative eval throughput: ``evaluate_generative`` driven by the
+  per-example ``generate_answer`` loop vs one batched decode through
+  ``generate_answer_batch`` — asserts the ISSUE-4 acceptance claim of a
+  >= 3x speedup with **identical greedy outputs**;
+* KV-cache step time: the preallocated ring buffer
+  (:class:`~repro.nn.cache.LayerKVCache`) vs a naive
+  concatenate-per-step reference cache, at long contexts where the
+  O(T^2) copying of the naive scheme dominates;
+* prefix-cache effect: repeat-prompt eval with hit/saved-token counters
+  rendered from the obs registry into the results file.
+
+Run directly for a quick CI smoke: ``python bench_generation.py --smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.baselines.lm import LMClassifier
+from repro.eval.generative import evaluate_generative
+from repro.obs import Observability, render_registry
+
+from conftest import save_result, train_plain
+
+N_EVAL = 32
+RING_STEPS = 1024
+RING_SHAPE = (1, 2, 16)  # (batch, kv heads, head dim) of each appended token
+
+
+class ConcatLayerCache:
+    """The pre-ring-buffer reference: concatenate k/v on every append.
+
+    Kept here (not in the library) purely as the benchmark baseline —
+    every decode step reallocates and copies the whole retained history,
+    so per-step cost grows linearly with context and total cost is
+    O(T^2).  The ring buffer writes each step into a preallocated slot.
+    """
+
+    def __init__(self, window: int | None = None):
+        self.window = window
+        self.offset = 0
+        self._k: np.ndarray | None = None
+        self._v: np.ndarray | None = None
+
+    def append(self, k: np.ndarray, v: np.ndarray):
+        if self._k is None:
+            self._k, self._v = k.copy(), v.copy()
+        else:
+            self._k = np.concatenate([self._k, k], axis=2)
+            self._v = np.concatenate([self._v, v], axis=2)
+        if self.window is not None and self._k.shape[2] > self.window:
+            drop = self._k.shape[2] - self.window
+            self._k = self._k[:, :, drop:].copy()
+            self._v = self._v[:, :, drop:].copy()
+            self.offset += drop
+        return self._k, self._v
+
+
+def _time_cache_appends(cache, steps: int) -> float:
+    batch, kv, hd = RING_SHAPE
+    token_k = np.ones((batch, kv, 1, hd), dtype=np.float32)
+    token_v = np.ones((batch, kv, 1, hd), dtype=np.float32)
+    start = time.perf_counter()
+    for _ in range(steps):
+        cache.append(token_k, token_v)
+    return time.perf_counter() - start
+
+
+def ring_vs_concat(steps: int = RING_STEPS) -> dict[str, float]:
+    """Total append time (s) for ring-buffer vs concat caches."""
+    from repro.nn.cache import LayerKVCache
+
+    times = {}
+    for label, window in (("unwindowed", None), ("window=256", 256)):
+        times[f"ring {label}"] = _time_cache_appends(LayerKVCache(window=window), steps)
+        times[f"concat {label}"] = _time_cache_appends(ConcatLayerCache(window=window), steps)
+    return times
+
+
+def _build_eval(n_eval: int, epochs: int = 2):
+    """A quickly tuned model plus generative-eval examples and choices."""
+    from repro.data import build_classification_examples
+    from repro.datasets import make_german
+
+    dataset = make_german(n=max(n_eval, 24), seed=0)
+    examples = build_classification_examples(dataset)
+    zigong = train_plain(examples, epochs=epochs)
+    choices = tuple(sorted({e.answer for e in examples}))
+    return zigong, examples[:n_eval], choices
+
+
+def _classifiers(zigong, obs):
+    """(sequential baseline, batched) classifiers over the same weights.
+
+    The baseline gets no prefix cache so it measures the pre-PR
+    per-prompt path; the batched classifier reports its counters to
+    ``obs``.
+    """
+    sequential = LMClassifier(zigong.model, zigong.tokenizer, prefix_cache_size=0)
+    batched = LMClassifier(zigong.model, zigong.tokenizer, obs=obs)
+    return sequential, batched
+
+
+def run_generation_benchmark(
+    n_eval: int = N_EVAL, ring_steps: int = RING_STEPS, min_speedup: float = 3.0
+) -> str:
+    obs = Observability.create()
+    zigong, examples, choices = _build_eval(n_eval)
+    sequential, batched = _classifiers(zigong, obs)
+    prompts = [e.prompt for e in examples]
+
+    # Output parity first: greedy decoding must be bit-identical.
+    seq_texts = [sequential.generate_answer(p) for p in prompts]
+    batch_texts = batched.generate_answer_batch(prompts)
+    assert batch_texts == seq_texts, "batched generation diverged from sequential"
+
+    # Forced-length decode (no stop tokens): the tuned model emits EOS
+    # almost immediately, which would leave the decode loop unmeasured —
+    # this section times the actual one-token-per-step path.
+    from repro.nn.generation import GenerationConfig, generate, generate_batch
+
+    decode_config = GenerationConfig(max_new_tokens=8, stop_tokens=())
+    rows = [batched._prompt_ids(p) for p in prompts]
+    start = time.perf_counter()
+    seq_out = [generate(zigong.model, r, decode_config) for r in rows]
+    seq_decode = time.perf_counter() - start
+    start = time.perf_counter()
+    batch_out = generate_batch(zigong.model, rows, decode_config, obs=obs)
+    batch_decode = time.perf_counter() - start
+    assert [list(o) for o in batch_out] == [list(o) for o in seq_out], (
+        "forced-length batched decode diverged from sequential"
+    )
+    decode_speedup = seq_decode / batch_decode
+
+    start = time.perf_counter()
+    seq_result = evaluate_generative(sequential.generate_answer, examples, choices)
+    seq_time = time.perf_counter() - start
+
+    batched.prefix_cache.clear()
+    start = time.perf_counter()
+    batch_result = evaluate_generative(
+        sequential.generate_answer,
+        examples,
+        choices,
+        generate_batch_fn=batched.generate_answer_batch,
+    )
+    batch_time = time.perf_counter() - start
+    assert (batch_result.accuracy, batch_result.miss) == (
+        seq_result.accuracy,
+        seq_result.miss,
+    ), "batched eval changed the metrics"
+    speedup = seq_time / batch_time
+
+    # Second pass over the same prompts: the prefix cache now serves
+    # every prefill from its snapshots.
+    start = time.perf_counter()
+    evaluate_generative(
+        sequential.generate_answer, examples, choices,
+        generate_batch_fn=batched.generate_answer_batch,
+    )
+    repeat_time = time.perf_counter() - start
+
+    ring = ring_vs_concat(ring_steps)
+
+    lines = [
+        f"generative eval over {len(examples)} prompts "
+        f"(max_new_tokens={batched.max_new_tokens}, greedy, identical outputs)",
+        "",
+        f"{'mode':>32}  {'time (s)':>9}  {'speedup':>8}",
+        f"{'sequential generate_answer':>32}  {seq_time:>9.3f}  {1.0:>8.2f}x",
+        f"{'generate_answer_batch':>32}  {batch_time:>9.3f}  {speedup:>8.2f}x",
+        f"{'repeat (prefix-cache hits)':>32}  {repeat_time:>9.3f}  "
+        f"{seq_time / repeat_time:>8.2f}x",
+        "",
+        f"forced-length decode ({decode_config.max_new_tokens} tokens/row, "
+        "no stop tokens)",
+        "",
+        f"{'mode':>32}  {'time (s)':>9}  {'speedup':>8}",
+        f"{'sequential generate':>32}  {seq_decode:>9.3f}  {1.0:>8.2f}x",
+        f"{'generate_batch':>32}  {batch_decode:>9.3f}  {decode_speedup:>8.2f}x",
+        "",
+        f"KV-cache append micro-benchmark ({ring_steps} single-token steps, "
+        f"shape {RING_SHAPE})",
+        "",
+        f"{'cache':>24}  {'total (s)':>10}  {'us/step':>8}",
+    ]
+    for label, total in ring.items():
+        lines.append(f"{label:>24}  {total:>10.4f}  {total / ring_steps * 1e6:>8.1f}")
+    lines += [
+        "",
+        "observability counters (repro.obs registry):",
+        "",
+        render_registry(obs.metrics),
+    ]
+    text = "\n".join(lines)
+
+    assert speedup >= min_speedup, (
+        f"batched generative eval only {speedup:.2f}x sequential "
+        f"(need >= {min_speedup}x)"
+    )
+    assert decode_speedup >= min_speedup, (
+        f"batched decode loop only {decode_speedup:.2f}x sequential "
+        f"(need >= {min_speedup}x)"
+    )
+    assert ring["ring unwindowed"] < ring["concat unwindowed"], (
+        "ring buffer slower than concatenate-per-step at long context"
+    )
+    stats = batched.prefix_cache.stats
+    assert stats.hits >= len(examples), "repeat pass did not hit the prefix cache"
+    assert stats.tokens_saved > 0
+    return text
+
+
+def test_batched_generation_speedup():
+    save_result("generation", run_generation_benchmark())
+
+
+def smoke(n_eval: int = 16, ring_steps: int = 128) -> None:
+    """Small everything: exercises the full path in a few seconds.
+
+    The speedup floor is relaxed to 2x at this batch size — the 3x
+    acceptance claim is asserted at the full N_EVAL batch.
+    """
+    text = run_generation_benchmark(
+        n_eval=n_eval, ring_steps=ring_steps, min_speedup=2.0
+    )
+    print(text)
+    print("\ngeneration smoke OK")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast run (CI): parity + speedup + ring-buffer asserts",
+    )
+    parser.add_argument("--n-eval", type=int, default=N_EVAL)
+    parser.add_argument("--ring-steps", type=int, default=RING_STEPS)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        smoke()
+    else:
+        save_result("generation", run_generation_benchmark(args.n_eval, args.ring_steps))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

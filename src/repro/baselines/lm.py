@@ -5,14 +5,24 @@ baselines (the Llama/Bloomz analogue in Table 2).  Predictions come from
 free generation followed by answer parsing — this is what makes the Miss
 metric meaningful — while the continuous score comes from the next-token
 logits of the two answer words.
+
+The generative read-out is the deployed hot path (Behavior Card, CALM
+eval), so ``predict_many`` overrides the sequential default with one
+batched decode (:func:`~repro.nn.generation.generate_batch`) plus one
+padded scoring pass, and every classifier carries a
+:class:`~repro.nn.cache.PrefixCache` so repeated prompts and shared
+preambles skip prefill entirely.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.errors import EvaluationError
-from repro.nn.generation import GenerationConfig, generate, next_token_logits
+from repro.nn.cache import PrefixCache
+from repro.nn.generation import GenerationConfig, generate, generate_batch, next_token_logits
 from repro.nn.transformer import MistralTiny
 from repro.tokenizer.base import BaseTokenizer
 from repro.eval.harness import CreditModel, EvalSample, Prediction
@@ -28,11 +38,17 @@ class LMClassifier(CreditModel):
         tokenizer: BaseTokenizer,
         max_new_tokens: int = 4,
         name: str = "lm",
+        prefix_cache_size: int = 64,
+        obs=None,
     ):
         self.model = model
         self.tokenizer = tokenizer
         self.max_new_tokens = max_new_tokens
         self.name = name
+        self.obs = obs
+        self.prefix_cache = (
+            PrefixCache(prefix_cache_size, obs=obs) if prefix_cache_size > 0 else None
+        )
 
     def _prompt_ids(self, prompt: str) -> np.ndarray:
         ids = [self.tokenizer.bos_id] + self.tokenizer.encode(prompt) + [self.tokenizer.sep_id]
@@ -45,14 +61,40 @@ class LMClassifier(CreditModel):
             raise EvaluationError(f"answer text {text!r} encodes to nothing")
         return ids[0]
 
-    def generate_answer(self, prompt: str) -> str:
-        """Free-running generation for the prompt (decoded, special-free)."""
-        config = GenerationConfig(
+    def _generation_config(self) -> GenerationConfig:
+        return GenerationConfig(
             max_new_tokens=self.max_new_tokens,
             stop_tokens=(self.tokenizer.eos_id,),
         )
-        new_ids = generate(self.model, self._prompt_ids(prompt), config)
+
+    def generate_answer(self, prompt: str) -> str:
+        """Free-running generation for the prompt (decoded, special-free)."""
+        new_ids = generate(
+            self.model,
+            self._prompt_ids(prompt),
+            self._generation_config(),
+            prefix_cache=self.prefix_cache,
+        )
         return self.tokenizer.decode(new_ids)
+
+    def generate_answer_batch(self, prompts: Sequence[str]) -> list[str]:
+        """Batched :meth:`generate_answer`: one decode loop for all prompts.
+
+        Produces exactly the same strings as calling :meth:`generate_answer`
+        per prompt (greedy decoding is deterministic and the batched path
+        is parity-tested), but amortizes every forward pass across rows.
+        """
+        if not prompts:
+            return []
+        rows = [self._prompt_ids(p) for p in prompts]
+        outputs = generate_batch(
+            self.model,
+            rows,
+            self._generation_config(),
+            prefix_cache=self.prefix_cache,
+            obs=self.obs,
+        )
+        return [self.tokenizer.decode(ids) for ids in outputs]
 
     def score(self, prompt: str, positive_text: str, negative_text: str) -> float:
         """P(positive) from the two answer-token logits (softmax over both)."""
@@ -109,3 +151,28 @@ class LMClassifier(CreditModel):
             label=label,
             score=self.score(sample.prompt, sample.positive_text, sample.negative_text),
         )
+
+    def predict_many(self, samples: Sequence[EvalSample]) -> list[Prediction]:
+        """Batched prediction: one decode loop plus one scoring pass.
+
+        Matches the sequential default (``[predict(s) for s in samples]``)
+        label-for-label under greedy decoding; scoring batches are grouped
+        by ``(positive_text, negative_text)`` so mixed-task sample lists
+        still score correctly.
+        """
+        if not samples:
+            return []
+        texts = self.generate_answer_batch([s.prompt for s in samples])
+        labels = [
+            parse_answer(text, s.positive_text, s.negative_text)
+            for text, s in zip(texts, samples)
+        ]
+        scores: list[float | None] = [None] * len(samples)
+        groups: dict[tuple[str, str], list[int]] = {}
+        for i, s in enumerate(samples):
+            groups.setdefault((s.positive_text, s.negative_text), []).append(i)
+        for (pos, neg), idx in groups.items():
+            batch_scores = self.score_batch([samples[i].prompt for i in idx], pos, neg)
+            for i, value in zip(idx, batch_scores):
+                scores[i] = float(value)
+        return [Prediction(label=l, score=s) for l, s in zip(labels, scores)]

@@ -45,6 +45,7 @@ class ZiGong:
         self.tokenizer = tokenizer
         self.model = MistralTiny(config.model, rng=config.seed)
         self._lora_applied = False
+        self._classifiers: dict[str, LMClassifier] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -128,12 +129,23 @@ class ZiGong:
     # ------------------------------------------------------------------
 
     def classifier(self, name: str = "ZiGong") -> LMClassifier:
-        """A benchmark-harness view of this model."""
-        return LMClassifier(self.model, self.tokenizer, name=name)
+        """A benchmark-harness view of this model.
+
+        Memoized per name so the classifier's prompt
+        :class:`~repro.nn.cache.PrefixCache` keeps accumulating across
+        calls — repeat prompts skip prefill entirely.
+        """
+        if name not in self._classifiers:
+            self._classifiers[name] = LMClassifier(self.model, self.tokenizer, name=name)
+        return self._classifiers[name]
 
     def generate_answer(self, prompt: str) -> str:
         """Generate an answer for a raw prompt string."""
         return self.classifier().generate_answer(prompt)
+
+    def generate_answer_batch(self, prompts: Sequence[str]) -> list[str]:
+        """Batched :meth:`generate_answer`: one decode loop for all prompts."""
+        return self.classifier().generate_answer_batch(list(prompts))
 
     def score_batch(
         self,

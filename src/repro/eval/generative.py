@@ -36,12 +36,19 @@ def evaluate_generative(
     generate_fn: Callable[[str], str],
     examples: Sequence[InstructExample],
     choices: tuple[str, ...],
+    generate_batch_fn: Callable[[list[str]], list[str]] | None = None,
 ) -> GenerativeEvalResult:
     """Run ``generate_fn`` over every example and score parsed choices.
 
     ``generate_fn`` maps a prompt string to generated text; answers are
     parsed with :func:`~repro.eval.parsing.parse_choice`.  Misses count
     as incorrect for accuracy (and never as a confusion entry).
+
+    ``generate_batch_fn`` (e.g. an
+    :meth:`~repro.baselines.lm.LMClassifier.generate_answer_batch` bound
+    method) generates every prompt in one batched decode loop instead of
+    per-example calls; under greedy decoding the results — and therefore
+    the metrics — are identical.
     """
     if not examples:
         raise EvaluationError("evaluate_generative() received no examples")
@@ -51,11 +58,20 @@ def evaluate_generative(
     if unknown:
         raise EvaluationError(f"example answers {sorted(unknown)} not in choices {choices}")
 
+    if generate_batch_fn is not None:
+        generations = generate_batch_fn([e.prompt for e in examples])
+        if len(generations) != len(examples):
+            raise EvaluationError(
+                f"generate_batch_fn returned {len(generations)} texts "
+                f"for {len(examples)} examples"
+            )
+    else:
+        generations = [generate_fn(e.prompt) for e in examples]
+
     hits = misses = 0
     per_class: dict[str, list[int]] = {c: [0, 0] for c in choices}  # [hits, total]
     confusion: dict[tuple[str, str], int] = {}
-    for example in examples:
-        generated = generate_fn(example.prompt)
+    for example, generated in zip(examples, generations):
         choice = parse_choice(generated, choices)
         per_class[example.answer][1] += 1
         if choice is None:

@@ -52,6 +52,15 @@ class CreditModel(abc.ABC):
         """Predict one sample."""
 
     def predict_many(self, samples: Sequence[EvalSample]) -> list[Prediction]:
+        """Predict a batch; defaults to a sequential loop.
+
+        Models with a faster batched path should override this — the
+        harness's :func:`evaluate` always goes through ``predict_many``,
+        so an override (e.g. the batched decode in
+        :class:`~repro.baselines.lm.LMClassifier`) speeds up every
+        benchmark run.  Overrides must return one prediction per sample,
+        in order, and match ``predict`` label-for-label.
+        """
         return [self.predict(sample) for sample in samples]
 
 

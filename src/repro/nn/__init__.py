@@ -4,12 +4,12 @@ from repro.nn.module import Module, ModuleList, Parameter
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, RMSNorm
 from repro.nn.rope import RotaryEmbedding
 from repro.nn.attention import MultiHeadAttention, rect_attention_mask, sliding_window_mask
-from repro.nn.cache import KVCache, LayerKVCache
+from repro.nn.cache import KVCache, KVCacheSnapshot, LayerKVCache, PrefixCache, PrefixEntry
 from repro.nn.mlp import MLP, SwiGLU
 from repro.nn.transformer import MistralTiny, ModelConfig, TransformerBlock
 from repro.nn.classifier import SequenceClassifier, pad_sequences
 from repro.nn.flops import FlopsEstimate, count_parameters, estimate_flops
-from repro.nn.generation import GenerationConfig, generate, next_token_logits
+from repro.nn.generation import GenerationConfig, generate, generate_batch, next_token_logits
 
 __all__ = [
     "Module",
@@ -25,7 +25,10 @@ __all__ = [
     "sliding_window_mask",
     "rect_attention_mask",
     "KVCache",
+    "KVCacheSnapshot",
     "LayerKVCache",
+    "PrefixCache",
+    "PrefixEntry",
     "SwiGLU",
     "MLP",
     "ModelConfig",
@@ -35,6 +38,7 @@ __all__ = [
     "pad_sequences",
     "GenerationConfig",
     "generate",
+    "generate_batch",
     "next_token_logits",
     "FlopsEstimate",
     "count_parameters",

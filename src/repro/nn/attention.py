@@ -22,6 +22,13 @@ from repro.nn.rope import RotaryEmbedding
 _NEG_INF = np.float32(-1e9)
 
 
+def _freeze(mask: np.ndarray) -> np.ndarray:
+    """Mark a cached mask read-only so shared copies cannot be corrupted."""
+    mask.flags.writeable = False
+    return mask
+
+
+@functools.lru_cache(maxsize=256)
 def rect_attention_mask(
     q_len: int,
     kv_len: int,
@@ -34,13 +41,16 @@ def rect_attention_mask(
     Query ``i`` sits at absolute position ``q_offset + i`` and key ``j``
     at ``kv_offset + j``; attention is allowed when the key is not in
     the future and (with a window) not older than ``window`` positions.
+
+    Results are memoized and returned **read-only** — callers share the
+    same array, so mutation would corrupt every future forward pass.
     """
     q_pos = (q_offset + np.arange(q_len))[:, None]
     k_pos = (kv_offset + np.arange(kv_len))[None, :]
     allowed = k_pos <= q_pos
     if window is not None:
         allowed &= (q_pos - k_pos) < window
-    return np.where(allowed, np.float32(0.0), _NEG_INF).astype(np.float32)
+    return _freeze(np.where(allowed, np.float32(0.0), _NEG_INF).astype(np.float32))
 
 
 @functools.lru_cache(maxsize=64)
@@ -49,14 +59,15 @@ def sliding_window_mask(seq_len: int, window: int | None) -> np.ndarray:
 
     Entry ``(i, j)`` is 0 when token ``i`` may attend to token ``j``
     (``j <= i`` and, with a window, ``i - j < window``) and ``-1e9``
-    otherwise.
+    otherwise.  Memoized and returned **read-only** (see
+    :func:`rect_attention_mask`).
     """
     i = np.arange(seq_len)[:, None]
     j = np.arange(seq_len)[None, :]
     allowed = j <= i
     if window is not None:
         allowed &= (i - j) < window
-    return np.where(allowed, np.float32(0.0), _NEG_INF).astype(np.float32)
+    return _freeze(np.where(allowed, np.float32(0.0), _NEG_INF).astype(np.float32))
 
 
 class MultiHeadAttention(Module):
@@ -95,18 +106,48 @@ class MultiHeadAttention(Module):
         batch, seq, _ = x.shape
         return x.reshape(batch, seq, n_heads, self.head_dim).transpose((0, 2, 1, 3))
 
-    def forward(self, x: Tensor, cache=None) -> Tensor:
-        """Self-attention over ``x``; with ``cache`` (a
-        :class:`~repro.nn.cache.LayerKVCache`) runs incremental decoding:
-        ``x`` holds only the new tokens and attends over the cached
-        prefix as well."""
+    def _decode_step(self, q: Tensor, k: Tensor, v: Tensor, batch: int) -> Tensor:
+        """Single-token decode kernel: no mask, no grouped-head repeat.
+
+        Every retained key is visible to the one (newest) query, so the
+        mask is skipped entirely — no ``(B, H, 1, T_kv)`` mask build and
+        no ``-1e9`` softmax lanes.  The ``1/sqrt(head_dim)`` scale is
+        folded into ``q`` (one ``(B, H, 1, hd)`` multiply instead of
+        scaling the ``(B, H, 1, T_kv)`` score matrix), and grouped-query
+        heads are handled by reshaping ``q`` to ``(B, KV, group, hd)``
+        and broadcasting the matmul instead of materializing repeated
+        key/value copies of the whole cache.
+        """
+        group = self.n_heads // self.n_kv_heads
+        kv_len = k.shape[2]
+        q = q * np.float32(1.0 / np.sqrt(self.head_dim))
+        q = q.reshape(batch, self.n_kv_heads, group, self.head_dim)
+        scores = q @ k.swapaxes(-1, -2)  # (B, KV, group, T_kv)
+        weights = softmax(scores, axis=-1)
+        weights = self.attn_dropout(weights)
+        out = weights @ v  # (B, KV, group, hd)
+        return out.reshape(batch, 1, self.n_heads * self.head_dim)
+
+    def forward(self, x: Tensor, cache=None, positions=None, attn_mask=None) -> Tensor:
+        """Self-attention over ``x``.
+
+        With ``cache`` (a :class:`~repro.nn.cache.LayerKVCache`) runs
+        incremental decoding: ``x`` holds only the new tokens and
+        attends over the cached prefix as well.  ``positions`` overrides
+        the RoPE positions (``(T,)`` shared or ``(B, T)`` per-row, for
+        ragged batched decoding); ``attn_mask`` is an additive mask
+        broadcastable to ``(B, H, T, T_kv)`` that replaces the
+        internally constructed causal/sliding mask (the batched
+        generation loop builds per-row masks that also hide padding).
+        """
         batch, seq, _ = x.shape
         start = cache.next_position if cache is not None else 0
         q = self._split_heads(self.wq(x), self.n_heads)  # (B, H, T, hd)
         k = self._split_heads(self.wk(x), self.n_kv_heads)  # (B, KV, T, hd)
         v = self._split_heads(self.wv(x), self.n_kv_heads)
 
-        positions = np.arange(start, start + seq)
+        if positions is None:
+            positions = np.arange(start, start + seq)
         q = self.rope.apply(q, positions=positions)
         k = self.rope.apply(k, positions=positions)
 
@@ -118,6 +159,19 @@ class MultiHeadAttention(Module):
         else:
             kv_offset = 0
 
+        if cache is not None and seq == 1 and attn_mask is None:
+            # Decode fast path: the single query is the newest position,
+            # so causality admits every retained key, and the rolling
+            # window trim (or an explicit length check) guarantees no
+            # key is older than the window.  The mask would be all
+            # zeros — skip building it.
+            if (
+                self.sliding_window is None
+                or cache.window is not None  # append() already trimmed to window
+                or k.shape[2] <= self.sliding_window
+            ):
+                return self.wo(self._decode_step(q, k, v, batch))
+
         if self.n_kv_heads != self.n_heads:
             group = self.n_heads // self.n_kv_heads
             idx = np.repeat(np.arange(self.n_kv_heads), group)
@@ -126,13 +180,15 @@ class MultiHeadAttention(Module):
 
         scale = 1.0 / np.sqrt(self.head_dim)
         scores = (q @ k.swapaxes(-1, -2)) * scale  # (B, H, T, T_kv)
-        if cache is not None:
+        if attn_mask is not None:
+            mask = attn_mask
+        elif cache is not None:
             mask = rect_attention_mask(
                 seq, k.shape[2], self.sliding_window, q_offset=start, kv_offset=kv_offset
             )
         else:
             mask = sliding_window_mask(seq, self.sliding_window)
-        scores = scores + Tensor(mask)
+        scores = scores + (mask if isinstance(mask, Tensor) else Tensor(mask))
         weights = softmax(scores, axis=-1)
         weights = self.attn_dropout(weights)
         out = weights @ v  # (B, H, T, hd)

@@ -1,61 +1,275 @@
 """KV caches for incremental decoding.
 
 Generation re-uses the attention keys/values of already-processed
-tokens instead of re-running the full prefix each step.  With a sliding
-window of ``w`` the cache is a *rolling buffer*: entries older than the
-window can never be attended to again and are dropped — the same trick
-Mistral uses to bound memory at long contexts.
+tokens instead of re-running the full prefix each step.  Two layers of
+reuse live here:
+
+* :class:`LayerKVCache` / :class:`KVCache` — a **preallocated rolling
+  buffer** per attention layer.  Appends write into reserved slots
+  (amortized O(1) per token) instead of reallocating the whole buffer
+  with ``np.concatenate`` every step, and with a sliding window of
+  ``w`` the buffer is compacted in place so retained entries stay a
+  contiguous view — the same trick Mistral uses to bound memory at
+  long contexts.
+* :class:`PrefixCache` — a trie keyed by token ids that stores
+  immutable :class:`KVCacheSnapshot` objects for already-prefilled
+  prompts.  Repeated behavior texts, shared few-shot / instruct
+  preambles and repeat sampling seeds re-use the longest matching
+  prefix via :meth:`KVCache.fork` instead of re-running prefill; hit /
+  miss / saved-token counters are reported through :mod:`repro.obs`.
 
 Caches hold plain numpy arrays (decoding runs under ``no_grad``).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
 from repro.errors import ShapeError
+
+_MIN_CAPACITY = 64
+
+
+def _read_only(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+@dataclass(frozen=True)
+class LayerKVSnapshot:
+    """Immutable copy of one layer's retained keys/values."""
+
+    k: np.ndarray  # (batch, n_kv_heads, t, head_dim), read-only
+    v: np.ndarray
+    offset: int
+
+
+@dataclass(frozen=True)
+class KVCacheSnapshot:
+    """Frozen state of a full :class:`KVCache` (one entry per layer).
+
+    Snapshots are safe to share: the arrays are copies marked
+    read-only, so no amount of decoding on a forked cache can corrupt
+    them.  ``length`` is the number of *retained* positions;
+    ``next_position`` the absolute position decoding resumes from.
+    """
+
+    layers: tuple[LayerKVSnapshot, ...]
+    window: int | None
+
+    @property
+    def length(self) -> int:
+        return self.layers[0].k.shape[2] if self.layers else 0
+
+    @property
+    def next_position(self) -> int:
+        if not self.layers:
+            return 0
+        return self.layers[0].offset + self.length
+
+    @property
+    def nbytes(self) -> int:
+        return sum(layer.k.nbytes + layer.v.nbytes for layer in self.layers)
 
 
 class LayerKVCache:
     """Rolling key/value buffer for one attention layer.
 
     Shapes are ``(batch, n_heads, t, head_dim)``; ``offset`` is the
-    absolute position of the first retained entry.
+    absolute position of the first retained entry.  Internally the
+    buffer is preallocated with slack: appends write into free slots,
+    window trims advance the start index, and the retained span is
+    compacted to the front only when it would run off the end of the
+    buffer — amortized O(1) work per appended token, versus the
+    O(T) (unwindowed: O(T^2) total) reallocation of a
+    concatenate-per-step cache.
     """
 
+    __slots__ = ("window", "offset", "_k", "_v", "_start", "_len")
+
     def __init__(self, window: int | None = None):
+        if window is not None and window <= 0:
+            raise ShapeError(f"window must be positive when set, got {window}")
         self.window = window
-        self.k: np.ndarray | None = None
-        self.v: np.ndarray | None = None
         self.offset = 0
+        self._k: np.ndarray | None = None
+        self._v: np.ndarray | None = None
+        self._start = 0
+        self._len = 0
 
     def __len__(self) -> int:
-        return 0 if self.k is None else self.k.shape[2]
+        return self._len
 
     @property
     def next_position(self) -> int:
         """Absolute position of the next token to be appended."""
-        return self.offset + len(self)
+        return self.offset + self._len
+
+    @property
+    def batch_size(self) -> int:
+        return 0 if self._k is None else self._k.shape[0]
+
+    @property
+    def capacity(self) -> int:
+        return 0 if self._k is None else self._k.shape[2]
+
+    # -- internal buffer management ------------------------------------
+
+    def _initial_capacity(self, t: int) -> int:
+        if self.window is not None:
+            # window + equal slack => one O(window) compaction per
+            # ~window appended tokens.
+            return max(self.window + max(self.window, t), t)
+        return max(_MIN_CAPACITY, 2 * t)
+
+    def _allocate(self, like: np.ndarray, t: int) -> None:
+        batch, heads, _, head_dim = like.shape
+        cap = self._initial_capacity(t)
+        self._k = np.empty((batch, heads, cap, head_dim), dtype=like.dtype)
+        self._v = np.empty_like(self._k)
+        self._start = 0
+        self._len = 0
+
+    def _make_room(self, t: int) -> None:
+        """Ensure ``t`` more slots are writable after the retained span."""
+        cap = self.capacity
+        need = self._len + t
+        if self._start + need <= cap:
+            return
+        if need > cap:  # grow geometrically (unwindowed long decode)
+            new_cap = cap
+            while new_cap < need:
+                new_cap *= 2
+            k = np.empty(self._k.shape[:2] + (new_cap,) + self._k.shape[3:], dtype=self._k.dtype)
+            v = np.empty_like(k)
+            k[:, :, : self._len] = self._k[:, :, self._start : self._start + self._len]
+            v[:, :, : self._len] = self._v[:, :, self._start : self._start + self._len]
+            self._k, self._v = k, v
+        else:
+            # Compact the retained span to the front.  With a window the
+            # buffer has >= window slack, so source and destination never
+            # overlap; without one we only land here via the grow branch.
+            if self._start < self._len:
+                retained_k = self._k[:, :, self._start : self._start + self._len].copy()
+                retained_v = self._v[:, :, self._start : self._start + self._len].copy()
+            else:
+                retained_k = self._k[:, :, self._start : self._start + self._len]
+                retained_v = self._v[:, :, self._start : self._start + self._len]
+            self._k[:, :, : self._len] = retained_k
+            self._v[:, :, : self._len] = retained_v
+        self._start = 0
+
+    # -- public API ----------------------------------------------------
 
     def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Append new keys/values; return the full retained buffers."""
+        """Append new keys/values; return views of the retained buffers.
+
+        The returned arrays are views into the internal buffer and are
+        only valid until the next ``append`` — attention consumes them
+        immediately within the same forward step.
+        """
         if k.shape != v.shape:
             raise ShapeError(f"k shape {k.shape} != v shape {v.shape}")
-        if self.k is None:
-            self.k, self.v = k, v
-        else:
-            if k.shape[:2] != self.k.shape[:2] or k.shape[3] != self.k.shape[3]:
-                raise ShapeError(
-                    f"cache append shape {k.shape} incompatible with {self.k.shape}"
-                )
-            self.k = np.concatenate([self.k, k], axis=2)
-            self.v = np.concatenate([self.v, v], axis=2)
-        if self.window is not None and self.k.shape[2] > self.window:
-            drop = self.k.shape[2] - self.window
-            self.k = self.k[:, :, drop:]
-            self.v = self.v[:, :, drop:]
+        if k.ndim != 4:
+            raise ShapeError(f"cache entries must be (batch, heads, t, head_dim), got {k.shape}")
+        t = k.shape[2]
+        if self._k is None:
+            self._allocate(k, t)
+        elif k.shape[:2] != self._k.shape[:2] or k.shape[3] != self._k.shape[3]:
+            raise ShapeError(
+                f"cache append shape {k.shape} incompatible with "
+                f"{self._k.shape[:2] + (self._len,) + self._k.shape[3:]}"
+            )
+        self._make_room(t)
+        end = self._start + self._len
+        self._k[:, :, end : end + t] = k
+        self._v[:, :, end : end + t] = v
+        self._len += t
+        if self.window is not None and self._len > self.window:
+            drop = self._len - self.window
+            self._start += drop
             self.offset += drop
-        return self.k, self.v
+            self._len = self.window
+        return self.views()
+
+    def views(self) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy views of the retained keys and values."""
+        if self._k is None:
+            raise ShapeError("cache is empty; nothing to view")
+        span = slice(self._start, self._start + self._len)
+        return self._k[:, :, span], self._v[:, :, span]
+
+    def snapshot(self) -> LayerKVSnapshot:
+        """An immutable (read-only, copied) view of the retained state."""
+        if self._k is None:
+            return LayerKVSnapshot(
+                k=_read_only(np.empty((0, 0, 0, 0), dtype=np.float32)),
+                v=_read_only(np.empty((0, 0, 0, 0), dtype=np.float32)),
+                offset=self.offset,
+            )
+        k, v = self.views()
+        return LayerKVSnapshot(k=_read_only(k.copy()), v=_read_only(v.copy()), offset=self.offset)
+
+    @classmethod
+    def from_arrays(
+        cls, k: np.ndarray, v: np.ndarray, offset: int = 0, window: int | None = None
+    ) -> "LayerKVCache":
+        """A fresh cache whose retained span is a copy of ``k`` / ``v``."""
+        cache = cls(window)
+        if k.ndim == 4 and k.shape[2] > 0:
+            cache._allocate(k, k.shape[2])
+            cache._k[:, :, : k.shape[2]] = k
+            cache._v[:, :, : k.shape[2]] = v
+            cache._len = k.shape[2]
+        cache.offset = offset
+        return cache
+
+    @classmethod
+    def from_snapshot(
+        cls, snap: LayerKVSnapshot, window: int | None = None
+    ) -> "LayerKVCache":
+        return cls.from_arrays(snap.k, snap.v, offset=snap.offset, window=window)
+
+    def fork(self) -> "LayerKVCache":
+        """An independent copy: decoding on the fork never touches this cache."""
+        if self._k is None:
+            fork = LayerKVCache(self.window)
+            fork.offset = self.offset
+            return fork
+        k, v = self.views()
+        return LayerKVCache.from_arrays(k, v, offset=self.offset, window=self.window)
+
+    def trimmed(self, window: int | None) -> "LayerKVCache":
+        """An independent copy keeping only the trailing ``window`` entries.
+
+        Converts an untrimmed prefill cache into a rolling decode cache:
+        every future query sits past the current end, so keys older than
+        the window can never be visible again and are safe to drop.
+        """
+        if window is None or self._k is None:
+            fork = self.fork()
+            fork.window = window
+            return fork
+        k, v = self.views()
+        keep = min(self._len, window)
+        return LayerKVCache.from_arrays(
+            k[:, :, self._len - keep :],
+            v[:, :, self._len - keep :],
+            offset=self.offset + self._len - keep,
+            window=window,
+        )
+
+    def select_rows(self, indices) -> None:
+        """Keep only the given batch rows (early retirement compaction)."""
+        if self._k is None:
+            return
+        indices = np.asarray(indices, dtype=np.intp)
+        span = slice(self._start, self._start + self._len)
+        self._k = np.ascontiguousarray(self._k[indices][:, :, span])
+        self._v = np.ascontiguousarray(self._v[indices][:, :, span])
+        self._start = 0
 
 
 class KVCache:
@@ -65,6 +279,7 @@ class KVCache:
         if n_layers <= 0:
             raise ShapeError("n_layers must be positive")
         self.layers = [LayerKVCache(window) for _ in range(n_layers)]
+        self.window = window
 
     def __getitem__(self, index: int) -> LayerKVCache:
         return self.layers[index]
@@ -75,3 +290,200 @@ class KVCache:
     @property
     def next_position(self) -> int:
         return self.layers[0].next_position
+
+    @property
+    def batch_size(self) -> int:
+        return self.layers[0].batch_size
+
+    def snapshot(self) -> KVCacheSnapshot:
+        """Freeze the current state (copied, read-only arrays)."""
+        return KVCacheSnapshot(
+            layers=tuple(layer.snapshot() for layer in self.layers),
+            window=self.window,
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls, snap: KVCacheSnapshot, window: int | None = "unset"  # type: ignore[assignment]
+    ) -> "KVCache":
+        """Rehydrate a writable cache from a snapshot.
+
+        ``window`` defaults to the snapshot's own window; pass ``None``
+        explicitly to disable trimming on the rehydrated cache (the
+        batched decode path enforces the window via masks instead).
+        """
+        if not snap.layers:
+            raise ShapeError("cannot rebuild a KVCache from an empty snapshot")
+        if window == "unset":
+            window = snap.window
+        cache = cls.__new__(cls)
+        cache.layers = [LayerKVCache.from_snapshot(layer, window=window) for layer in snap.layers]
+        cache.window = window
+        return cache
+
+    def fork(self) -> "KVCache":
+        """An independent deep copy sharing nothing with this cache."""
+        cache = KVCache.__new__(KVCache)
+        cache.layers = [layer.fork() for layer in self.layers]
+        cache.window = self.window
+        return cache
+
+    def trimmed(self, window: int | None) -> "KVCache":
+        """An independent copy trimmed to the trailing ``window`` entries."""
+        cache = KVCache.__new__(KVCache)
+        cache.layers = [layer.trimmed(window) for layer in self.layers]
+        cache.window = window
+        return cache
+
+    def select_rows(self, indices) -> None:
+        """Keep only the given batch rows in every layer."""
+        for layer in self.layers:
+            layer.select_rows(indices)
+
+
+# ----------------------------------------------------------------------
+# Prefix cache
+# ----------------------------------------------------------------------
+
+
+class _TrieNode:
+    __slots__ = ("children", "key")
+
+    def __init__(self):
+        self.children: dict[int, _TrieNode] = {}
+        self.key: tuple[int, ...] | None = None  # set when an entry ends here
+
+
+@dataclass(frozen=True)
+class PrefixEntry:
+    """One cached prefill: frozen KV state plus the last-position logits."""
+
+    key: tuple[int, ...]
+    snapshot: KVCacheSnapshot
+    logits: np.ndarray  # (vocab,), read-only — logits after the last prefix token
+
+    @property
+    def length(self) -> int:
+        return len(self.key)
+
+
+@dataclass
+class PrefixCacheStats:
+    hits: int = 0
+    misses: int = 0
+    tokens_saved: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PrefixCache:
+    """Trie-keyed LRU cache of prefilled prompt prefixes.
+
+    ``lookup`` walks the query's token ids down the trie and returns
+    the deepest stored entry — the longest cached prefix — so repeat
+    behavior texts, shared instruction preambles and repeat sampling
+    seeds skip the matching part of prefill entirely.  Matches shorter
+    than ``min_match`` tokens are ignored (forking a cache for a
+    two-token match costs more than it saves).
+
+    Counters (``generation.prefix_hits`` / ``generation.prefix_misses``
+    / ``generation.prefill_tokens_saved`` / ``generation.prefix_evictions``)
+    are registered on the :mod:`repro.obs` hub so ``repro obs report``
+    shows prefix reuse next to the serving metrics.
+    """
+
+    def __init__(self, capacity: int = 64, min_match: int = 4, obs=None):
+        if capacity <= 0:
+            raise ShapeError(f"PrefixCache capacity must be positive, got {capacity}")
+        if min_match < 1:
+            raise ShapeError(f"min_match must be >= 1, got {min_match}")
+        self.capacity = capacity
+        self.min_match = min_match
+        self._root = _TrieNode()
+        self._entries: dict[tuple[int, ...], PrefixEntry] = {}
+        self._order: list[tuple[int, ...]] = []  # LRU order, oldest first
+        self.stats = PrefixCacheStats()
+        if obs is None:
+            from repro.obs import get_observability
+
+            obs = get_observability()
+        metrics = obs.metrics
+        self._m_hits = metrics.counter("generation.prefix_hits")
+        self._m_misses = metrics.counter("generation.prefix_misses")
+        self._m_saved = metrics.counter("generation.prefill_tokens_saved")
+        self._m_evictions = metrics.counter("generation.prefix_evictions")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _touch(self, key: tuple[int, ...]) -> None:
+        self._order.remove(key)
+        self._order.append(key)
+
+    def lookup(self, ids) -> PrefixEntry | None:
+        """Longest stored prefix of ``ids`` (>= ``min_match`` tokens)."""
+        node = self._root
+        best: tuple[int, ...] | None = None
+        for token in np.asarray(ids).reshape(-1).tolist():
+            node = node.children.get(int(token))
+            if node is None:
+                break
+            if node.key is not None:
+                best = node.key
+        if best is None or len(best) < self.min_match:
+            self.stats.misses += 1
+            self._m_misses.inc()
+            return None
+        self._touch(best)
+        entry = self._entries[best]
+        self.stats.hits += 1
+        self.stats.tokens_saved += entry.length
+        self._m_hits.inc()
+        self._m_saved.inc(entry.length)
+        return entry
+
+    def insert(self, ids, snapshot: KVCacheSnapshot, logits: np.ndarray) -> PrefixEntry:
+        """Store the prefilled state for ``ids`` (refreshes an existing key)."""
+        key = tuple(int(t) for t in np.asarray(ids).reshape(-1).tolist())
+        if not key:
+            raise ShapeError("cannot cache an empty prefix")
+        logits = _read_only(np.asarray(logits).reshape(-1).copy())
+        entry = PrefixEntry(key=key, snapshot=snapshot, logits=logits)
+        if key in self._entries:
+            self._entries[key] = entry
+            self._touch(key)
+            return entry
+        node = self._root
+        for token in key:
+            node = node.children.setdefault(token, _TrieNode())
+        node.key = key
+        self._entries[key] = entry
+        self._order.append(key)
+        if len(self._entries) > self.capacity:
+            self._evict(self._order[0])
+        return entry
+
+    def _evict(self, key: tuple[int, ...]) -> None:
+        self._order.remove(key)
+        del self._entries[key]
+        self.stats.evictions += 1
+        self._m_evictions.inc()
+        # Walk down recording the path, then prune childless entry-less nodes.
+        path = [self._root]
+        for token in key:
+            path.append(path[-1].children[token])
+        path[-1].key = None
+        for depth in range(len(key), 0, -1):
+            node = path[depth]
+            if node.children or node.key is not None:
+                break
+            del path[depth - 1].children[key[depth - 1]]
+
+    def clear(self) -> None:
+        self._root = _TrieNode()
+        self._entries.clear()
+        self._order.clear()

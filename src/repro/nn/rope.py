@@ -40,19 +40,28 @@ class RotaryEmbedding:
         """Rotate ``x`` of shape ``(B, H, T, head_dim)`` by position.
 
         ``positions`` defaults to ``0..T-1``; pass explicit positions when
-        decoding incrementally with a KV cache.
+        decoding incrementally with a KV cache.  A ``(T,)`` array is
+        shared across the batch; a ``(B, T)`` array gives every row its
+        own positions (ragged batched decoding).
         """
         seq_len = x.shape[-2]
         if positions is None:
             positions = np.arange(seq_len)
         positions = np.asarray(positions)
+        if positions.ndim > 2:
+            raise ShapeError(f"positions must be (T,) or (B, T), got shape {positions.shape}")
         if positions.max(initial=0) >= self.max_seq_len:
             raise ShapeError(
                 f"position {positions.max()} exceeds RoPE table length {self.max_seq_len}"
             )
         half = self.head_dim // 2
-        cos = Tensor(self._cos[positions])  # (T, half) broadcast over (B, H, T, half)
-        sin = Tensor(self._sin[positions])
+        cos_table = self._cos[positions]  # (T, half) or (B, T, half)
+        sin_table = self._sin[positions]
+        if positions.ndim == 2:  # broadcast per-row tables over the head axis
+            cos_table = cos_table[:, None, :, :]
+            sin_table = sin_table[:, None, :, :]
+        cos = Tensor(cos_table)  # broadcasts over (B, H, T, half)
+        sin = Tensor(sin_table)
         x1 = x[..., :half]
         x2 = x[..., half:]
         rotated_first = x1 * cos - x2 * sin

@@ -85,8 +85,8 @@ class TransformerBlock(Module):
         self.ffn_norm = RMSNorm(config.d_model)
         self.ffn = SwiGLU(config.d_model, config.d_ff, dropout=config.dropout, rng=rng)
 
-    def forward(self, x: Tensor, cache=None) -> Tensor:
-        x = x + self.attn(self.attn_norm(x), cache=cache)
+    def forward(self, x: Tensor, cache=None, positions=None, attn_mask=None) -> Tensor:
+        x = x + self.attn(self.attn_norm(x), cache=cache, positions=positions, attn_mask=attn_mask)
         x = x + self.ffn(self.ffn_norm(x))
         return x
 
@@ -113,27 +113,45 @@ class MistralTiny(Module):
         else:
             self.lm_head = Linear(config.d_model, config.vocab_size, bias=False, rng=rng)
 
-    def forward(self, token_ids: np.ndarray, cache=None) -> Tensor:
+    def forward(self, token_ids: np.ndarray, cache=None, positions=None, attn_mask=None) -> Tensor:
         """Logits for ``token_ids``.
 
         With ``cache`` (a :class:`~repro.nn.cache.KVCache`), ``token_ids``
         holds only the *new* tokens: the cached prefix supplies attention
         keys/values and absolute positions advance automatically.
+        ``positions`` overrides the RoPE positions (``(T,)`` shared or
+        ``(B, T)`` per-row) and ``attn_mask`` replaces the internal
+        causal/sliding mask — both are used by the batched ragged decode
+        loop in :mod:`repro.nn.generation`.
         """
         token_ids = np.asarray(token_ids)
         if token_ids.ndim == 1:
             token_ids = token_ids[None, :]
         if token_ids.ndim != 2:
             raise ShapeError(f"token_ids must be (batch, seq), got shape {token_ids.shape}")
-        start = cache.next_position if cache is not None else 0
-        if start + token_ids.shape[1] > self.config.max_seq_len:
-            raise ShapeError(
-                f"sequence length {start + token_ids.shape[1]} exceeds max_seq_len "
-                f"{self.config.max_seq_len}"
-            )
+        if positions is not None:
+            positions = np.asarray(positions)
+            max_pos = int(positions.max(initial=0))
+            if max_pos >= self.config.max_seq_len:
+                raise ShapeError(
+                    f"position {max_pos} exceeds max_seq_len {self.config.max_seq_len} "
+                    "(RoPE table would overflow)"
+                )
+        else:
+            start = cache.next_position if cache is not None else 0
+            if start + token_ids.shape[1] > self.config.max_seq_len:
+                raise ShapeError(
+                    f"sequence length {start + token_ids.shape[1]} exceeds max_seq_len "
+                    f"{self.config.max_seq_len}"
+                )
         x = self.embed_dropout(self.tok_embed(token_ids))
         for i, block in enumerate(self.blocks):
-            x = block(x, cache=cache[i] if cache is not None else None)
+            x = block(
+                x,
+                cache=cache[i] if cache is not None else None,
+                positions=positions,
+                attn_mask=attn_mask,
+            )
         x = self.final_norm(x)
         if self.lm_head is not None:
             return self.lm_head(x)

@@ -57,12 +57,25 @@ def reason_codes(
     if not features:
         raise ServingError("prompt contains no name=value feature tokens to occlude")
     tokens = prompt.split()
-    base = float(classifier.score(prompt, positive_text, negative_text))
-    codes = []
-    for position, name, value in features:
-        occluded = " ".join(t for i, t in enumerate(tokens) if i != position)
-        without = float(classifier.score(occluded, positive_text, negative_text))
-        codes.append(ReasonCode(feature=name, value=value, delta=base - without))
+    occlusions = [
+        " ".join(t for i, t in enumerate(tokens) if i != position)
+        for position, _, _ in features
+    ]
+    if hasattr(classifier, "score_batch"):
+        # One padded forward for the base prompt plus all N occlusions
+        # instead of N+1 sequential full passes.
+        scores = classifier.score_batch([prompt] + occlusions, positive_text, negative_text)
+        base, without = float(scores[0]), [float(s) for s in scores[1:]]
+    else:
+        base = float(classifier.score(prompt, positive_text, negative_text))
+        without = [
+            float(classifier.score(occluded, positive_text, negative_text))
+            for occluded in occlusions
+        ]
+    codes = [
+        ReasonCode(feature=name, value=value, delta=base - w)
+        for (_, name, value), w in zip(features, without)
+    ]
     codes.sort(key=lambda c: abs(c.delta), reverse=True)
     return codes[:top_k]
 

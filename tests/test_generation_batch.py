@@ -1,0 +1,313 @@
+"""Batched decoding: parity with sequential generation, caches, wiring.
+
+The contract under test is exact equivalence: ``generate_batch`` must
+produce, row for row, the same tokens a sequential ``generate`` call
+per prompt would — greedy and seeded-sampling alike — and the ring
+buffer / prefix cache must never change model outputs, only their cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import MistralTiny
+from repro.nn.attention import rect_attention_mask, sliding_window_mask
+from repro.nn.cache import KVCache, LayerKVCache, PrefixCache
+from repro.nn.generation import GenerationConfig, generate, generate_batch
+
+
+RAGGED_LENGTHS = (5, 9, 3, 12, 7, 9)
+
+
+def _prompts(vocab_size: int, lengths=RAGGED_LENGTHS, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(5, vocab_size, size=n).astype(np.int64) for n in lengths]
+
+
+def _assert_rows_equal(batch, sequential):
+    assert len(batch) == len(sequential)
+    for got, want in zip(batch, sequential):
+        assert list(got) == list(want)
+
+
+class TestBatchedParity:
+    def test_greedy_ragged(self, tiny_model, tiny_config):
+        prompts = _prompts(tiny_config.vocab_size)
+        config = GenerationConfig(max_new_tokens=6)
+        sequential = [generate(tiny_model, p, config) for p in prompts]
+        _assert_rows_equal(generate_batch(tiny_model, prompts, config), sequential)
+
+    def test_seeded_sampling(self, tiny_model, tiny_config):
+        prompts = _prompts(tiny_config.vocab_size, seed=1)
+        config = GenerationConfig(max_new_tokens=6, temperature=1.0, seed=7)
+        sequential = [generate(tiny_model, p, config) for p in prompts]
+        _assert_rows_equal(generate_batch(tiny_model, prompts, config), sequential)
+
+    def test_stop_tokens_retire_rows_early(self, tiny_model, tiny_config):
+        prompts = _prompts(tiny_config.vocab_size, seed=2)
+        # Greedy output tokens double as stop tokens so rows retire at
+        # different steps; parity must survive row compaction.
+        probe = generate_batch(tiny_model, prompts, GenerationConfig(max_new_tokens=6))
+        stops = tuple({row[2] for row in probe if len(row) > 2})
+        config = GenerationConfig(max_new_tokens=6, stop_tokens=stops)
+        sequential = [generate(tiny_model, p, config) for p in prompts]
+        batch = generate_batch(tiny_model, prompts, config)
+        _assert_rows_equal(batch, sequential)
+        assert len({len(row) for row in batch}) > 1  # genuinely ragged exit
+
+    def test_window_binding_long_prompts(self, tiny_model, tiny_config):
+        # Prompts long enough that the sliding window masks out history.
+        lengths = (20, 25, 18)
+        prompts = _prompts(tiny_config.vocab_size, lengths, seed=3)
+        config = GenerationConfig(max_new_tokens=6)
+        sequential = [generate(tiny_model, p, config) for p in prompts]
+        _assert_rows_equal(generate_batch(tiny_model, prompts, config), sequential)
+
+    def test_prefill_matches_uncached_forward_past_window(self, tiny_model, tiny_config):
+        # Prompts longer than the sliding window: prefill must compute the
+        # same logits as a full no-cache forward (trimming keys mid-prompt
+        # would corrupt early positions and, through layer 2, the output).
+        from repro.nn.generation import next_token_logits
+
+        prompt = _prompts(tiny_config.vocab_size, (25,), seed=8)[0]
+        greedy = generate(tiny_model, prompt, GenerationConfig(max_new_tokens=1))
+        assert greedy[0] == int(next_token_logits(tiny_model, prompt).argmax())
+
+    def test_single_row_batch(self, tiny_model, tiny_config):
+        prompt = _prompts(tiny_config.vocab_size, (8,))[0]
+        config = GenerationConfig(max_new_tokens=5)
+        assert list(generate_batch(tiny_model, [prompt], config)[0]) == list(
+            generate(tiny_model, prompt, config)
+        )
+
+    def test_empty_inputs(self, tiny_model):
+        assert generate_batch(tiny_model, []) == []
+        with pytest.raises(ConfigError):
+            generate_batch(tiny_model, [np.asarray([], dtype=np.int64)])
+
+
+class TestBudgetValidation:
+    def test_max_new_tokens_must_leave_prompt_room(self, tiny_model, tiny_config):
+        prompt = _prompts(tiny_config.vocab_size, (4,))[0]
+        bad = GenerationConfig(max_new_tokens=tiny_config.max_seq_len)
+        with pytest.raises(ConfigError, match="max_new_tokens"):
+            generate(tiny_model, prompt, bad)
+        with pytest.raises(ConfigError, match="max_new_tokens"):
+            generate_batch(tiny_model, [prompt], bad)
+
+    def test_long_prompt_truncates_to_budget(self, tiny_model, tiny_config):
+        rng = np.random.default_rng(4)
+        long = rng.integers(5, tiny_config.vocab_size, size=100).astype(np.int64)
+        config = GenerationConfig(max_new_tokens=4)
+        out = generate(tiny_model, long, config)
+        kept = long[-(tiny_config.max_seq_len - 4):]
+        assert list(out) == list(generate(tiny_model, kept, config))
+        _assert_rows_equal(generate_batch(tiny_model, [long], config), [out])
+
+
+class ConcatLayerCache:
+    """Golden reference: the old concatenate-per-step cache semantics."""
+
+    def __init__(self, window=None):
+        self.window = window
+        self.offset = 0
+        self._k = self._v = None
+
+    def append(self, k, v):
+        if self._k is None:
+            self._k, self._v = k.copy(), v.copy()
+        else:
+            self._k = np.concatenate([self._k, k], axis=2)
+            self._v = np.concatenate([self._v, v], axis=2)
+        if self.window is not None and self._k.shape[2] > self.window:
+            drop = self._k.shape[2] - self.window
+            self._k = self._k[:, :, drop:].copy()
+            self._v = self._v[:, :, drop:].copy()
+            self.offset += drop
+        return self._k, self._v
+
+
+class TestRingBuffer:
+    @pytest.mark.parametrize("window", [None, 8])
+    @pytest.mark.parametrize("chunks", [[1] * 40, [5, 1, 1, 7, 1, 30, 1, 1]])
+    def test_matches_concat_reference(self, window, chunks):
+        rng = np.random.default_rng(0)
+        ring = LayerKVCache(window=window)
+        concat = ConcatLayerCache(window=window)
+        for t in chunks:
+            k = rng.standard_normal((1, 2, t, 4)).astype(np.float32)
+            v = rng.standard_normal((1, 2, t, 4)).astype(np.float32)
+            rk, rv = ring.append(k, v)
+            ck, cv = concat.append(k, v)
+            np.testing.assert_array_equal(rk, ck)
+            np.testing.assert_array_equal(rv, cv)
+            assert ring.offset == concat.offset
+
+    def test_snapshot_isolated_from_later_appends(self):
+        rng = np.random.default_rng(1)
+        cache = LayerKVCache(window=None)
+        k = rng.standard_normal((1, 2, 6, 4)).astype(np.float32)
+        cache.append(k, k)
+        snap = cache.snapshot()
+        frozen = snap.k.copy()
+        cache.append(k[:, :, :1], k[:, :, :1])
+        np.testing.assert_array_equal(snap.k, frozen)
+        assert not snap.k.flags.writeable
+
+    def test_fork_is_independent(self):
+        rng = np.random.default_rng(2)
+        cache = KVCache(n_layers=2, window=None)
+        for layer in cache.layers:
+            k = rng.standard_normal((1, 2, 5, 4)).astype(np.float32)
+            layer.append(k, k)
+        fork = cache.fork()
+        extra = rng.standard_normal((1, 2, 1, 4)).astype(np.float32)
+        fork.layers[0].append(extra, extra)
+        assert fork.layers[0].views()[0].shape[2] == 6
+        assert cache.layers[0].views()[0].shape[2] == 5
+
+    def test_select_rows_reorders_and_drops(self):
+        rng = np.random.default_rng(3)
+        cache = LayerKVCache(window=None)
+        k = rng.standard_normal((4, 2, 5, 4)).astype(np.float32)
+        cache.append(k, k)
+        cache.select_rows([3, 1])
+        got, _ = cache.views()
+        np.testing.assert_array_equal(got, k[[3, 1]])
+
+
+class TestPrefixCache:
+    def test_hit_parity(self, tiny_model, tiny_config):
+        prompts = _prompts(tiny_config.vocab_size, (10, 10, 6), seed=5)
+        prompts[1] = prompts[0].copy()  # exact repeat => full prefix hit
+        config = GenerationConfig(max_new_tokens=5)
+        baseline = [generate(tiny_model, p, config) for p in prompts]
+
+        cache = PrefixCache(capacity=8)
+        first = generate_batch(tiny_model, prompts, config, prefix_cache=cache)
+        again = generate_batch(tiny_model, prompts, config, prefix_cache=cache)
+        _assert_rows_equal(first, baseline)
+        _assert_rows_equal(again, baseline)
+        assert cache.stats.hits > 0
+        assert cache.stats.tokens_saved > 0
+
+    def test_sequential_generate_uses_prefix_cache(self, tiny_model, tiny_config):
+        prompt = _prompts(tiny_config.vocab_size, (9,), seed=6)[0]
+        config = GenerationConfig(max_new_tokens=5)
+        baseline = generate(tiny_model, prompt, config)
+        cache = PrefixCache(capacity=4)
+        assert list(generate(tiny_model, prompt, config, prefix_cache=cache)) == list(baseline)
+        assert list(generate(tiny_model, prompt, config, prefix_cache=cache)) == list(baseline)
+        assert cache.stats.hits == 1
+
+    def test_partial_prefix_hit_parity(self, tiny_model, tiny_config):
+        base = _prompts(tiny_config.vocab_size, (10,), seed=7)[0]
+        extended = np.concatenate([base, base[:4]])
+        config = GenerationConfig(max_new_tokens=5)
+        cache = PrefixCache(capacity=4, min_match=4)
+        generate(tiny_model, base, config, prefix_cache=cache)
+        with_cache = generate(tiny_model, extended, config, prefix_cache=cache)
+        assert cache.stats.hits == 1
+        assert list(with_cache) == list(generate(tiny_model, extended, config))
+
+    def test_eviction_keeps_capacity(self, tiny_model, tiny_config):
+        config = GenerationConfig(max_new_tokens=2)
+        cache = PrefixCache(capacity=2)
+        for seed in range(4):
+            prompt = _prompts(tiny_config.vocab_size, (8,), seed=seed)[0]
+            generate(tiny_model, prompt, config, prefix_cache=cache)
+        assert len(cache) <= 2
+        assert cache.stats.evictions >= 2
+
+
+class TestMaskSafety:
+    def test_cached_masks_are_read_only(self):
+        for mask in (sliding_window_mask(8, 4), rect_attention_mask(1, 8, 4, 7, 0)):
+            assert not mask.flags.writeable
+            with pytest.raises(ValueError):
+                mask[0, 0] = 1.0
+
+
+class TestWiring:
+    def test_predict_many_matches_sequential(self, fitted_zigong, german_examples):
+        from repro.eval.harness import make_eval_samples
+        from repro.datasets import make_german
+
+        samples = make_eval_samples(make_german(n=30, seed=1))[:8]
+        classifier = fitted_zigong.classifier("parity")
+        sequential = [classifier.predict(s) for s in samples]
+        batched = classifier.predict_many(samples)
+        assert [p.label for p in batched] == [p.label for p in sequential]
+        for got, want in zip(batched, sequential):
+            assert got.score == pytest.approx(want.score, abs=1e-6)
+
+    def test_generate_answer_batch_matches_sequential(self, fitted_zigong, german_examples):
+        prompts = [e.prompt for e in german_examples[:6]]
+        classifier = fitted_zigong.classifier("batch-answers")
+        assert classifier.generate_answer_batch(prompts) == [
+            classifier.generate_answer(p) for p in prompts
+        ]
+        assert classifier.generate_answer_batch([]) == []
+
+    def test_zigong_classifier_memoized(self, fitted_zigong):
+        assert fitted_zigong.classifier("memo") is fitted_zigong.classifier("memo")
+
+    def test_evaluate_generative_batched_path(self, fitted_zigong, german_examples):
+        from repro.eval.generative import evaluate_generative
+
+        classifier = fitted_zigong.classifier("generative")
+        examples = german_examples[:8]
+        choices = tuple(sorted({e.answer for e in examples}))
+        sequential = evaluate_generative(classifier.generate_answer, examples, choices)
+        batched = evaluate_generative(
+            classifier.generate_answer, examples, choices,
+            generate_batch_fn=classifier.generate_answer_batch,
+        )
+        assert batched.accuracy == sequential.accuracy
+        assert batched.miss == sequential.miss
+        assert batched.confusion == sequential.confusion
+
+    def test_evaluate_generative_rejects_short_batch(self, german_examples):
+        from repro.errors import EvaluationError
+        from repro.eval.generative import evaluate_generative
+
+        examples = german_examples[:4]
+        choices = tuple(sorted({e.answer for e in examples}))
+        with pytest.raises(EvaluationError, match="generate_batch_fn"):
+            evaluate_generative(
+                lambda p: "", examples, choices,
+                generate_batch_fn=lambda prompts: [""],
+            )
+
+    def test_reason_codes_batched_matches_scalar(self, fitted_zigong):
+        from repro.serving.explain import reason_codes
+
+        classifier = fitted_zigong.classifier("explain")
+
+        class ScalarOnly:
+            def score(self, prompt, positive, negative):
+                return classifier.score(prompt, positive, negative)
+
+        prompt = "status=low duration=long amount=high question: default ? answer:"
+        fast = reason_codes(classifier, prompt)
+        slow = reason_codes(ScalarOnly(), prompt)
+        assert [(c.feature, c.value) for c in fast] == [(c.feature, c.value) for c in slow]
+        for got, want in zip(fast, slow):
+            assert got.delta == pytest.approx(want.delta, abs=1e-5)
+
+    def test_prefix_counters_reach_obs(self, tiny_model, tiny_config):
+        from repro.obs import Observability
+
+        obs = Observability.create()
+        cache = PrefixCache(capacity=4, obs=obs)
+        prompts = _prompts(tiny_config.vocab_size, (8, 8), seed=9)
+        prompts[1] = prompts[0].copy()
+        config = GenerationConfig(max_new_tokens=3)
+        generate_batch(tiny_model, prompts, config, prefix_cache=cache, obs=obs)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["generation.prefix_hits"] == cache.stats.hits
+        assert counters["generation.prefix_misses"] == cache.stats.misses
+        assert counters["generation.prefill_tokens_saved"] == cache.stats.tokens_saved
+        assert counters["generation.prefill_tokens"] > 0
