@@ -39,6 +39,7 @@ class LMClassifier(CreditModel):
         max_new_tokens: int = 4,
         name: str = "lm",
         prefix_cache_size: int = 64,
+        prefix_cache_bytes: int | None = 64 * 1024 * 1024,
         obs=None,
     ):
         self.model = model
@@ -46,8 +47,13 @@ class LMClassifier(CreditModel):
         self.max_new_tokens = max_new_tokens
         self.name = name
         self.obs = obs
+        # The prefix cache is weight-version-synced inside generate():
+        # a finetune/LoRA-merge/checkpoint-load between calls flushes it,
+        # so holding one classifier across training phases stays correct.
         self.prefix_cache = (
-            PrefixCache(prefix_cache_size, obs=obs) if prefix_cache_size > 0 else None
+            PrefixCache(prefix_cache_size, max_bytes=prefix_cache_bytes, obs=obs)
+            if prefix_cache_size > 0
+            else None
         )
 
     def _prompt_ids(self, prompt: str) -> np.ndarray:

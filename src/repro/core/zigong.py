@@ -133,7 +133,11 @@ class ZiGong:
 
         Memoized per name so the classifier's prompt
         :class:`~repro.nn.cache.PrefixCache` keeps accumulating across
-        calls — repeat prompts skip prefill entirely.
+        calls — repeat prompts skip prefill entirely.  Memoization is
+        safe across weight changes: the cache is keyed to the model's
+        ``weight_version``, so a :meth:`finetune`, :meth:`apply_lora`,
+        :meth:`merge_adapters` or checkpoint load in between flushes any
+        stale KV/logit entries on the next generate call.
         """
         if name not in self._classifiers:
             self._classifiers[name] = LMClassifier(self.model, self.tokenizer, name=name)

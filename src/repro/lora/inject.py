@@ -60,6 +60,7 @@ def apply_lora(model: Module, config: LoRAConfig, rng=None) -> list[LoRALinear]:
             f"no modules matched LoRA targets {config.target_modules}; "
             "check the attribute names"
         )
+    model.bump_weight_version()
     return adapters
 
 
@@ -88,6 +89,8 @@ def merge_lora(model: Module) -> int:
     adapters = iter_lora_modules(model)
     for adapter in adapters:
         adapter.merge()
+    if adapters:
+        model.bump_weight_version()
     return len(adapters)
 
 
@@ -96,6 +99,8 @@ def unmerge_lora(model: Module) -> int:
     adapters = iter_lora_modules(model)
     for adapter in adapters:
         adapter.unmerge()
+    if adapters:
+        model.bump_weight_version()
     return len(adapters)
 
 

@@ -366,6 +366,10 @@ class PrefixEntry:
     def length(self) -> int:
         return len(self.key)
 
+    @property
+    def nbytes(self) -> int:
+        return self.snapshot.nbytes + self.logits.nbytes
+
 
 @dataclass
 class PrefixCacheStats:
@@ -373,6 +377,8 @@ class PrefixCacheStats:
     misses: int = 0
     tokens_saved: int = 0
     evictions: int = 0
+    rejected: int = 0  # inserts refused by the admission policy
+    invalidations: int = 0  # full flushes after a model weight change
 
     @property
     def hit_rate(self) -> float:
@@ -388,24 +394,56 @@ class PrefixCache:
     behavior texts, shared instruction preambles and repeat sampling
     seeds skip the matching part of prefill entirely.  Matches shorter
     than ``min_match`` tokens are ignored (forking a cache for a
-    two-token match costs more than it saves).
+    two-token match costs more than it saves), and prefixes that short
+    are never stored.
+
+    Three policies bound the cache and keep it correct:
+
+    * **LRU by entries and bytes** — eviction keeps at most ``capacity``
+      entries and, when ``max_bytes`` is set, at most that many bytes of
+      KV snapshots (each entry holds full per-layer K/V for its prompt,
+      so entry count alone is a weak memory bound).
+    * **Second-sighting admission** — while the cache has free room every
+      prefix is stored, but once full a *new* key is only admitted after
+      it has been seen before (tracked in a small fingerprint table).  A
+      stream of unique one-off prompts therefore cannot churn out the
+      genuinely shared preamble entries the cache exists for.
+    * **Weight-version invalidation** — :meth:`sync` compares the owning
+      model's ``weight_version`` counter and flushes every entry when the
+      weights changed (finetune step, LoRA inject/merge, checkpoint
+      load); cached KV/logits from old weights are never served.
 
     Counters (``generation.prefix_hits`` / ``generation.prefix_misses``
-    / ``generation.prefill_tokens_saved`` / ``generation.prefix_evictions``)
+    / ``generation.prefill_tokens_saved`` / ``generation.prefix_evictions``
+    / ``generation.prefix_rejected`` / ``generation.prefix_invalidations``)
     are registered on the :mod:`repro.obs` hub so ``repro obs report``
     shows prefix reuse next to the serving metrics.
     """
 
-    def __init__(self, capacity: int = 64, min_match: int = 4, obs=None):
+    def __init__(
+        self,
+        capacity: int = 64,
+        min_match: int = 4,
+        max_bytes: int | None = None,
+        obs=None,
+    ):
         if capacity <= 0:
             raise ShapeError(f"PrefixCache capacity must be positive, got {capacity}")
         if min_match < 1:
             raise ShapeError(f"min_match must be >= 1, got {min_match}")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ShapeError(f"max_bytes must be positive when set, got {max_bytes}")
         self.capacity = capacity
         self.min_match = min_match
+        self.max_bytes = max_bytes
         self._root = _TrieNode()
         self._entries: dict[tuple[int, ...], PrefixEntry] = {}
         self._order: list[tuple[int, ...]] = []  # LRU order, oldest first
+        self._bytes = 0
+        self._weight_version: int | None = None
+        # Fingerprints of keys refused while full; a key seen here gets
+        # admitted on its next insert.  Bounded FIFO (oldest forgotten).
+        self._candidates: dict[tuple[int, ...], None] = {}
         self.stats = PrefixCacheStats()
         if obs is None:
             from repro.obs import get_observability
@@ -416,9 +454,31 @@ class PrefixCache:
         self._m_misses = metrics.counter("generation.prefix_misses")
         self._m_saved = metrics.counter("generation.prefill_tokens_saved")
         self._m_evictions = metrics.counter("generation.prefix_evictions")
+        self._m_rejected = metrics.counter("generation.prefix_rejected")
+        self._m_invalidations = metrics.counter("generation.prefix_invalidations")
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of stored KV snapshots and logits."""
+        return self._bytes
+
+    def sync(self, weight_version: int) -> None:
+        """Flush every entry if the model's weights changed since last use.
+
+        Generation calls this with the model's ``weight_version`` before
+        any lookup/insert; a mismatch means the stored KV snapshots and
+        logits were computed under old weights and must not be served.
+        """
+        if self._weight_version == weight_version:
+            return
+        if self._entries:
+            self.stats.invalidations += 1
+            self._m_invalidations.inc()
+        self.clear()
+        self._weight_version = weight_version
 
     def _touch(self, key: tuple[int, ...]) -> None:
         self._order.remove(key)
@@ -446,29 +506,75 @@ class PrefixCache:
         self._m_saved.inc(entry.length)
         return entry
 
-    def insert(self, ids, snapshot: KVCacheSnapshot, logits: np.ndarray) -> PrefixEntry:
-        """Store the prefilled state for ``ids`` (refreshes an existing key)."""
+    def insert(self, ids, snapshot: KVCacheSnapshot, logits: np.ndarray) -> PrefixEntry | None:
+        """Store the prefilled state for ``ids`` (refreshes an existing key).
+
+        Returns ``None`` when the prefix is not stored: keys shorter than
+        ``min_match`` can never be returned by :meth:`lookup`, and once
+        the cache is full a never-before-seen key must be sighted twice
+        before it is admitted (so one-off prompts cannot evict shared
+        preambles).
+        """
         key = tuple(int(t) for t in np.asarray(ids).reshape(-1).tolist())
         if not key:
             raise ShapeError("cannot cache an empty prefix")
+        if len(key) < self.min_match:
+            return None
         logits = _read_only(np.asarray(logits).reshape(-1).copy())
         entry = PrefixEntry(key=key, snapshot=snapshot, logits=logits)
         if key in self._entries:
+            self._bytes += entry.nbytes - self._entries[key].nbytes
             self._entries[key] = entry
             self._touch(key)
+            self._shrink()
             return entry
+        if not self._admit(key):
+            self.stats.rejected += 1
+            self._m_rejected.inc()
+            return None
         node = self._root
         for token in key:
             node = node.children.setdefault(token, _TrieNode())
         node.key = key
         self._entries[key] = entry
         self._order.append(key)
-        if len(self._entries) > self.capacity:
-            self._evict(self._order[0])
+        self._bytes += entry.nbytes
+        self._shrink()
         return entry
+
+    def _admit(self, key: tuple[int, ...]) -> bool:
+        """Second-sighting admission: free room admits; full requires a re-sight."""
+        full = len(self._entries) >= self.capacity or (
+            self.max_bytes is not None and self._bytes >= self.max_bytes
+        )
+        if not full:
+            self._candidates.pop(key, None)
+            return True
+        if key in self._candidates:
+            del self._candidates[key]
+            return True
+        self._candidates[key] = None
+        while len(self._candidates) > 4 * self.capacity:
+            del self._candidates[next(iter(self._candidates))]
+        return False
+
+    def _shrink(self) -> None:
+        """Evict LRU entries to satisfy the entry and byte bounds.
+
+        The newest entry is always retained, so a single prefix larger
+        than ``max_bytes`` still caches (memory is bounded by
+        ``max(max_bytes, one entry)``).
+        """
+        while len(self._entries) > self.capacity or (
+            self.max_bytes is not None
+            and self._bytes > self.max_bytes
+            and len(self._entries) > 1
+        ):
+            self._evict(self._order[0])
 
     def _evict(self, key: tuple[int, ...]) -> None:
         self._order.remove(key)
+        self._bytes -= self._entries[key].nbytes
         del self._entries[key]
         self.stats.evictions += 1
         self._m_evictions.inc()
@@ -487,3 +593,5 @@ class PrefixCache:
         self._root = _TrieNode()
         self._entries.clear()
         self._order.clear()
+        self._candidates.clear()
+        self._bytes = 0

@@ -139,19 +139,22 @@ def generate(
     """
     config = config or GenerationConfig()
     budget = _check_budget(model, config)
+    if prefix_cache is not None:
+        prefix_cache.sync(model.weight_version)
     rng = default_rng(config.seed)
-    ids = list(np.asarray(prompt_ids, dtype=np.int64).reshape(-1))
+    # Left-truncate to the prompt budget up front so the cached and
+    # uncached paths condition on the identical context window and the
+    # whole run fits the RoPE position table.
+    ids = list(np.asarray(prompt_ids, dtype=np.int64).reshape(-1))[-budget:]
     generated: list[int] = []
-    max_len = model.config.max_seq_len
     was_training = model.training
     model.eval()
     try:
         with no_grad():
             if config.use_cache:
                 # Incremental decoding: prefill once (reusing any cached
-                # prefix), then one token per step.  The prompt is
-                # left-truncated so the whole run fits the position table.
-                prompt = np.asarray(ids[-budget:], dtype=np.int64)
+                # prefix), then one token per step.
+                prompt = np.asarray(ids, dtype=np.int64)
                 cache, logits = _prefill_single(model, prompt, prefix_cache)
                 for _ in range(config.max_new_tokens):
                     next_id = _sample_token(logits, config, rng)
@@ -163,8 +166,7 @@ def generate(
                     ).data[0, -1]
             else:
                 for _ in range(config.max_new_tokens):
-                    context = ids[-(max_len):]
-                    logits = model.forward(np.asarray(context, dtype=np.int64)[None, :])
+                    logits = model.forward(np.asarray(ids, dtype=np.int64)[None, :])
                     next_id = _sample_token(logits.data[0, -1], config, rng)
                     ids.append(next_id)
                     generated.append(next_id)
@@ -375,6 +377,8 @@ def generate_batch(
     """
     config = config or GenerationConfig()
     budget = _check_budget(model, config)
+    if prefix_cache is not None:
+        prefix_cache.sync(model.weight_version)
     if obs is None:
         from repro.obs import get_observability
 

@@ -24,10 +24,24 @@ class Parameter(Tensor):
 
 
 class Module:
-    """Base class for neural network components."""
+    """Base class for neural network components.
+
+    ``weight_version`` is a monotonic counter bumped whenever this
+    module's parameters are mutated (optimizer steps, checkpoint loads,
+    LoRA injection/merging).  Weight-dependent caches — most notably
+    :class:`~repro.nn.cache.PrefixCache`, which stores KV snapshots and
+    logits — compare it to detect stale entries.  Code that mutates
+    ``Parameter.data`` directly must call :meth:`bump_weight_version`
+    on the owning model.
+    """
 
     def __init__(self):
         self.training = True
+        self.weight_version = 0
+
+    def bump_weight_version(self) -> None:
+        """Mark this module's weights as changed (invalidates KV caches)."""
+        self.weight_version += 1
 
     # -- traversal -----------------------------------------------------
 
@@ -102,6 +116,7 @@ class Module:
                     f"shape mismatch for {name}: checkpoint {value.shape} vs model {param.shape}"
                 )
             param.data = value.copy()
+        self.bump_weight_version()
 
     # -- call ----------------------------------------------------------
 

@@ -190,6 +190,7 @@ class Trainer:
                     "check inputs and learning rate"
                 )
             self.optimizer.step()
+            self.model.bump_weight_version()
         self.global_step += 1
         loss = float(np.mean(losses))
         log = StepLog(

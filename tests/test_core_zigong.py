@@ -90,6 +90,20 @@ class TestClassifier:
         pred = clf.predict(sample)
         assert pred.score is not None
 
+    def test_memoized_classifier_fresh_after_finetune(self, german_examples):
+        # Regression for the measure_forgetting staleness bug: the
+        # memoized classifier's prefix cache must flush when a finetune
+        # changes the weights, not replay pre-finetune KV/logits.
+        from repro.baselines.lm import LMClassifier
+
+        zigong = ZiGong.from_examples(german_examples[:32])
+        prompt = german_examples[0].prompt
+        zigong.generate_answer(prompt)  # warm the memoized prefix cache
+        zigong.finetune(german_examples[:32])
+        uncached = LMClassifier(zigong.model, zigong.tokenizer, prefix_cache_size=0)
+        assert zigong.generate_answer(prompt) == uncached.generate_answer(prompt)
+        assert zigong.classifier().prefix_cache.stats.invalidations == 1
+
     def test_merge_adapters_preserves_scores(self, german_examples):
         zigong = ZiGong.from_examples(german_examples[:32])
         zigong.finetune(german_examples[:32])

@@ -212,14 +212,83 @@ class TestPrefixCache:
         assert cache.stats.hits == 1
         assert list(with_cache) == list(generate(tiny_model, extended, config))
 
-    def test_eviction_keeps_capacity(self, tiny_model, tiny_config):
+    def test_full_cache_admits_only_resighted_keys(self, tiny_model, tiny_config):
         config = GenerationConfig(max_new_tokens=2)
         cache = PrefixCache(capacity=2)
-        for seed in range(4):
+        prompts = [_prompts(tiny_config.vocab_size, (8,), seed=s)[0] for s in range(4)]
+        for prompt in prompts:
+            generate(tiny_model, prompt, config, prefix_cache=cache)
+        # A stream of unique prompts cannot churn the full cache: the two
+        # first-sighted latecomers are fingerprinted, not admitted.
+        assert len(cache) == 2
+        assert cache.stats.evictions == 0
+        assert cache.stats.rejected == 2
+        # A re-sighted key is admitted and evicts the LRU entry...
+        generate(tiny_model, prompts[2], config, prefix_cache=cache)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # ...and serves a hit from then on.
+        hits = cache.stats.hits
+        generate(tiny_model, prompts[2], config, prefix_cache=cache)
+        assert cache.stats.hits == hits + 1
+
+    def test_prefixes_below_min_match_never_stored(self, tiny_model, tiny_config):
+        config = GenerationConfig(max_new_tokens=2)
+        cache = PrefixCache(capacity=4, min_match=4)
+        prompt = _prompts(tiny_config.vocab_size, (3,), seed=3)[0]
+        generate(tiny_model, prompt, config, prefix_cache=cache)
+        assert len(cache) == 0  # lookup could never return it anyway
+
+    def test_max_bytes_bounds_eviction(self, tiny_model, tiny_config):
+        config = GenerationConfig(max_new_tokens=2)
+        probe = PrefixCache(capacity=16)
+        prompt = _prompts(tiny_config.vocab_size, (8,), seed=0)[0]
+        generate(tiny_model, prompt, config, prefix_cache=probe)
+        entry_bytes = probe.nbytes
+        assert entry_bytes > 0
+
+        cache = PrefixCache(capacity=16, max_bytes=int(2.5 * entry_bytes))
+        for seed in range(3):
             prompt = _prompts(tiny_config.vocab_size, (8,), seed=seed)[0]
             generate(tiny_model, prompt, config, prefix_cache=cache)
-        assert len(cache) <= 2
-        assert cache.stats.evictions >= 2
+        assert len(cache) == 2
+        assert cache.nbytes <= cache.max_bytes
+        assert cache.stats.evictions == 1
+
+    def test_max_bytes_retains_newest_entry(self, tiny_model, tiny_config):
+        config = GenerationConfig(max_new_tokens=2)
+        cache = PrefixCache(capacity=16, max_bytes=1)  # smaller than any entry
+        prompt = _prompts(tiny_config.vocab_size, (8,), seed=0)[0]
+        generate(tiny_model, prompt, config, prefix_cache=cache)
+        assert len(cache) == 1  # a lone oversized entry still caches
+
+    def test_weight_change_invalidates_cache(self, tiny_model, tiny_config):
+        prompt = _prompts(tiny_config.vocab_size, (10,), seed=11)[0]
+        config = GenerationConfig(max_new_tokens=5)
+        cache = PrefixCache(capacity=4)
+        generate(tiny_model, prompt, config, prefix_cache=cache)
+        assert len(cache) == 1
+
+        state = tiny_model.state_dict()
+        tiny_model.load_state_dict({k: v + 0.05 for k, v in state.items()})
+        fresh = generate(tiny_model, prompt, config)  # no cache: new weights
+        synced = generate(tiny_model, prompt, config, prefix_cache=cache)
+        assert list(synced) == list(fresh)
+        assert cache.stats.invalidations == 1
+
+    def test_weight_change_invalidates_cache_batched(self, tiny_model, tiny_config):
+        prompts = _prompts(tiny_config.vocab_size, (10, 10, 6), seed=12)
+        prompts[1] = prompts[0].copy()
+        config = GenerationConfig(max_new_tokens=5)
+        cache = PrefixCache(capacity=8)
+        generate_batch(tiny_model, prompts, config, prefix_cache=cache)
+
+        state = tiny_model.state_dict()
+        tiny_model.load_state_dict({k: v + 0.05 for k, v in state.items()})
+        fresh = [generate(tiny_model, p, config) for p in prompts]
+        synced = generate_batch(tiny_model, prompts, config, prefix_cache=cache)
+        _assert_rows_equal(synced, fresh)
+        assert cache.stats.invalidations == 1
 
 
 class TestMaskSafety:

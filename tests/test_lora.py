@@ -137,6 +137,16 @@ class TestInjection:
         unmerge_lora(model)
         np.testing.assert_allclose(model(token_batch).numpy(), before, atol=1e-4)
 
+    def test_inject_and_merge_bump_weight_version(self, tiny_config):
+        model = MistralTiny(tiny_config, rng=0)
+        v0 = model.weight_version
+        apply_lora(model, LoRAConfig(rank=2, alpha=4), rng=0)
+        assert model.weight_version == v0 + 1
+        merge_lora(model)
+        assert model.weight_version == v0 + 2
+        unmerge_lora(model)
+        assert model.weight_version == v0 + 3
+
     def test_lora_state_dict_only_adapters(self, tiny_config):
         model = MistralTiny(tiny_config, rng=0)
         apply_lora(model, LoRAConfig(rank=2, alpha=4), rng=0)

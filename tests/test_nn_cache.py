@@ -148,3 +148,13 @@ class TestCachedGeneration:
         prompt = np.ones(tiny_config.max_seq_len + 5, dtype=np.int64)
         out = generate(tiny_model, prompt, GenerationConfig(max_new_tokens=3))
         assert len(out) == 3
+
+    def test_long_prompt_cached_equals_uncached(self, tiny_model, tiny_config):
+        # Both paths must left-truncate to the same prompt budget; a
+        # longer-than-budget prompt used to condition the uncached loop
+        # on extra context the cached path never saw.
+        rng = np.random.default_rng(3)
+        prompt = rng.integers(5, tiny_config.vocab_size, size=tiny_config.max_seq_len + 5)
+        cached = generate(tiny_model, prompt, GenerationConfig(max_new_tokens=4, use_cache=True))
+        plain = generate(tiny_model, prompt, GenerationConfig(max_new_tokens=4, use_cache=False))
+        assert cached == plain

@@ -68,6 +68,20 @@ class TestModes:
         assert all(p.grad is None for p in toy.parameters())
 
 
+class TestWeightVersion:
+    def test_load_state_dict_bumps(self):
+        toy = Toy()
+        v0 = toy.weight_version
+        toy.load_state_dict(toy.state_dict())
+        assert toy.weight_version == v0 + 1
+
+    def test_manual_bump(self):
+        toy = Toy()
+        toy.bump_weight_version()
+        toy.bump_weight_version()
+        assert toy.weight_version == 2
+
+
 class TestStateDict:
     def test_roundtrip(self):
         a, b = Toy(), Toy()
