@@ -84,16 +84,28 @@ def cmd_generate(args) -> int:
 def cmd_train(args) -> int:
     examples = load_jsonl(args.data)
     zigong = ZiGong.from_examples(examples, config=_zigong_config(args))
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     history = zigong.finetune(
         examples,
         checkpoint_dir=args.checkpoint_dir,
         use_lora=not args.no_lora,
+        resume=args.resume,
     )
     zigong.save(args.out)
-    print(
-        f"trained on {len(examples)} examples: loss {history.losses[0]:.3f} -> "
-        f"{history.losses[-1]:.3f}; model saved to {args.out}"
-    )
+    if history.losses:
+        print(
+            f"trained on {len(examples)} examples: loss {history.losses[0]:.3f} -> "
+            f"{history.losses[-1]:.3f}; model saved to {args.out}"
+        )
+    else:
+        # --resume from a checkpoint of an already-finished run: nothing
+        # left to train, but the restored model is still saved.
+        print(
+            f"nothing to train: checkpoint already covers all "
+            f"{len(examples)} examples; model saved to {args.out}"
+        )
     return 0
 
 
@@ -186,6 +198,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--preset", choices=("test", "bench"), default="test")
     p.add_argument("--checkpoint-dir", default=None)
     p.add_argument("--no-lora", action="store_true", help="full-parameter fine-tune")
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the latest checkpoint in --checkpoint-dir "
+        "(bit-identical to an uninterrupted run)",
+    )
     p.set_defaults(fn=cmd_train)
 
     p = sub.add_parser("evaluate", help="evaluate a saved model on a jsonl file")

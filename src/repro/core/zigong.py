@@ -86,11 +86,16 @@ class ZiGong:
         checkpoint_dir: str | Path | None = None,
         use_lora: bool = True,
         callbacks: Sequence[Callback] = (),
+        resume: bool = False,
     ) -> History:
         """Supervised fine-tuning with the configured Table-3 recipe.
 
         With ``checkpoint_dir`` set, checkpoints (and the learning rate in
-        effect) are stored for later TracInCP / TracSeq replay.
+        effect) are stored for later TracInCP / TracSeq replay.  With
+        ``resume=True`` the latest checkpoint in ``checkpoint_dir`` is
+        restored first — parameters, optimizer moments, schedule
+        position and data order — so a crashed run continues
+        bit-identically to an uninterrupted one (``docs/resilience.md``).
         """
         if use_lora:
             self.apply_lora()
@@ -109,6 +114,8 @@ class ZiGong:
             manager = CheckpointManager(checkpoint_dir)
             if training.checkpoint_every is None:
                 training = replace(training, checkpoint_every=max(1, total_steps // 4))
+        if resume and manager is None:
+            raise ConfigError("finetune(resume=True) requires checkpoint_dir")
         optimizer = AdamW(self.model.parameters(), lr=self.config.base_lr)
         trainer = Trainer(
             self.model,
@@ -118,6 +125,8 @@ class ZiGong:
             checkpoint_manager=manager,
             callbacks=callbacks,
         )
+        if resume:
+            trainer.resume()
         return trainer.train(encoded)
 
     def merge_adapters(self) -> int:

@@ -48,6 +48,27 @@ class ObservabilityError(ReproError):
     """Metrics / tracing / event-sink misuse (never raised on hot paths)."""
 
 
+class ResilienceError(ReproError):
+    """Retry policy, circuit breaker, or fault-injection misuse."""
+
+
+class CircuitOpenError(ResilienceError):
+    """A call was rejected because its circuit breaker is open.
+
+    Raised by :meth:`repro.resilience.CircuitBreaker.call` (and checked
+    by the serving engine) so callers can route straight to a degraded
+    path instead of hammering a failing dependency.
+    """
+
+
+class InjectedFault(ReproError):
+    """The default exception raised at an armed fault point.
+
+    Only ever raised when a :class:`repro.resilience.FaultInjector` is
+    installed — production code paths never see it.
+    """
+
+
 class ServingError(ReproError):
     """Behavior Card serving failure."""
 
@@ -62,3 +83,12 @@ class QueueFullError(ServingError):
 
 class DeadlineExceededError(ServingError):
     """A queued request's deadline passed before it could be scored."""
+
+
+class ServingTimeout(ServingError):
+    """``PendingResult.result(timeout=...)`` gave up waiting.
+
+    Distinct from a scoring failure: the request is **still queued / in
+    flight** and may complete later; callers that stop waiting should
+    either retry :meth:`result` or treat the answer as abandoned.
+    """

@@ -35,6 +35,8 @@ from repro.errors import InfluenceError
 from repro.influence.gradients import GradientProjector, TokenExample, gradient_matrix
 from repro.influence.store import GradientStore, example_content_hash
 from repro.obs import Observability, get_observability
+from repro.resilience import RetryPolicy
+from repro.resilience.faults import fault_point
 from repro.training.checkpoint import CheckpointManager, CheckpointRecord
 
 # Worker-process state, installed by the pool initializer.  With the
@@ -50,6 +52,9 @@ def _worker_init(model, projector) -> None:
 def _worker_replay(payload):
     """Restore one checkpoint in this worker and compute gradient rows."""
     step, path, examples = payload
+    # Fault injectors installed in the parent are inherited by fork;
+    # chaos tests arm this point to crash a worker's chunk.
+    fault_point("influence.worker", step=step)
     started = time.perf_counter()
     model = _WORKER["model"]
     with np.load(path) as data:
@@ -82,6 +87,12 @@ class ParallelInfluenceEngine:
         checkpoint replays out across a fork-based process pool.
     chunk_size:
         Train rows per matmul block during recombination.
+    retry_policy:
+        Optional :class:`~repro.resilience.RetryPolicy` for requeued
+        worker chunks: when a pool worker raises (crash, injected
+        fault), its chunk is recomputed in-process under this policy
+        instead of losing the work; without a policy the chunk is
+        recomputed once.
     """
 
     def __init__(
@@ -93,6 +104,7 @@ class ParallelInfluenceEngine:
         store: GradientStore | None = None,
         workers: int = 0,
         chunk_size: int = 256,
+        retry_policy: RetryPolicy | None = None,
         obs: Observability | None = None,
     ):
         if not checkpoints:
@@ -109,10 +121,12 @@ class ParallelInfluenceEngine:
         self.store = store if store is not None else GradientStore(obs=self.obs)
         self.workers = workers
         self.chunk_size = chunk_size
+        self.retry_policy = retry_policy
         self._pkey = projector_key(projector)
         metrics = self.obs.metrics
         self._m_replays = metrics.counter("influence.checkpoints_replayed")
         self._m_gradient_passes = metrics.counter("influence.gradient_passes")
+        self._m_requeued = metrics.counter("influence.worker_requeued")
         self._h_worker = metrics.histogram("influence.worker_s")
 
     # -- row production ------------------------------------------------
@@ -170,6 +184,7 @@ class ParallelInfluenceEngine:
             (record.step, str(record.path), list(missing.values()))
             for record, missing in jobs
         ]
+        failed: list[tuple[CheckpointRecord, dict[str, TokenExample]]] = []
         with self.obs.span(
             "influence.prefetch", n_jobs=len(jobs), workers=self.workers
         ):
@@ -178,9 +193,22 @@ class ParallelInfluenceEngine:
                 initializer=_worker_init,
                 initargs=(self.model, self.projector),
             ) as pool:
-                for (record, missing), (step, rows, worker_s) in zip(
-                    jobs, pool.imap(_worker_replay, payloads)
-                ):
+                replies = pool.imap(_worker_replay, payloads)
+                for record, missing in jobs:
+                    try:
+                        step, rows, worker_s = next(replies)
+                    except Exception as error:
+                        # A crashed worker loses its chunk, not the run:
+                        # the job is requeued for in-process recompute
+                        # below, under the retry policy if one is set.
+                        self._m_requeued.inc()
+                        self.obs.event(
+                            "influence.worker_requeued",
+                            step=record.step,
+                            error=type(error).__name__,
+                        )
+                        failed.append((record, missing))
+                        continue
                     with self.obs.span(
                         "influence.worker",
                         step=step,
@@ -192,6 +220,14 @@ class ParallelInfluenceEngine:
                     self._h_worker.observe(worker_s)
                     self._m_replays.inc()
                     self._m_gradient_passes.inc(len(missing))
+        for record, missing in failed:
+            # _checkpoint_rows restores the checkpoint in the parent and
+            # computes + stores the rows; callers snapshot and restore
+            # the model's parameters around _prefetch, so this is safe.
+            if self.retry_policy is not None:
+                self.retry_policy.call(self._checkpoint_rows, record, missing)
+            else:
+                self._checkpoint_rows(record, missing)
         self.store.flush()
 
     def _stack(self, rows: dict[str, np.ndarray], hashes: Sequence[str]) -> np.ndarray:
@@ -248,7 +284,6 @@ class ParallelInfluenceEngine:
             return total
         finally:
             self.model.load_state_dict(saved)
-            self.store.flush()
             self.store.flush()
 
     def checkpoint_products(

@@ -33,6 +33,9 @@ class AdamW(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
 
+    def _state_buffers(self) -> dict[str, list[np.ndarray]]:
+        return {"m": self._m, "v": self._v}
+
     def step(self) -> None:
         self.step_count += 1
         t = self.step_count

@@ -29,6 +29,9 @@ class Lion(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.params]
 
+    def _state_buffers(self) -> dict[str, list[np.ndarray]]:
+        return {"m": self._m}
+
     def step(self) -> None:
         self.step_count += 1
         for p, m in zip(self.params, self._m):

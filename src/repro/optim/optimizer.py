@@ -4,7 +4,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.errors import ConfigError
+import numpy as np
+
+from repro.errors import CheckpointError, ConfigError
 from repro.nn.module import Parameter
 
 
@@ -14,6 +16,13 @@ class Optimizer:
     Only parameters with ``requires_grad=True`` are updated, so a model
     with frozen base weights and LoRA adapters can hand its full
     parameter list to the optimizer.
+
+    Optimizers are checkpointable: :meth:`state_dict` captures the step
+    count plus every moment buffer a subclass reports through
+    :meth:`_state_buffers`, and :meth:`load_state_dict` restores them
+    in place.  Restoring makes a resumed run *bit-identical* to an
+    uninterrupted one — AdamW's bias correction and moment decay depend
+    on both the buffers and ``step_count``.
     """
 
     def __init__(self, params: Sequence[Parameter], lr: float):
@@ -31,3 +40,41 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # -- checkpointable state ------------------------------------------
+
+    def _state_buffers(self) -> dict[str, list[np.ndarray]]:
+        """Per-parameter moment buffers, keyed by buffer name.
+
+        Subclasses with state (AdamW's ``m``/``v``, SGD's velocity,
+        Lion's momentum) override this; each list must be parallel to
+        ``self.params``.
+        """
+        return {}
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat array mapping suitable for ``np.savez``."""
+        state: dict[str, np.ndarray] = {
+            "step_count": np.asarray(self.step_count, dtype=np.int64)
+        }
+        for key, buffers in self._state_buffers().items():
+            for index, buffer in enumerate(buffers):
+                state[f"{key}.{index:04d}"] = buffer
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_dict` output in place (buffers stay aliased)."""
+        if "step_count" not in state:
+            raise CheckpointError("optimizer state missing 'step_count'")
+        for key, buffers in self._state_buffers().items():
+            for index, buffer in enumerate(buffers):
+                name = f"{key}.{index:04d}"
+                if name not in state:
+                    raise CheckpointError(f"optimizer state missing buffer {name!r}")
+                value = np.asarray(state[name])
+                if value.shape != buffer.shape:
+                    raise CheckpointError(
+                        f"optimizer buffer {name!r} shape {value.shape} != {buffer.shape}"
+                    )
+                buffer[...] = value
+        self.step_count = int(np.asarray(state["step_count"]))

@@ -22,6 +22,9 @@ class SGD(Optimizer):
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.params] if momentum else None
 
+    def _state_buffers(self) -> dict[str, list[np.ndarray]]:
+        return {"velocity": self._velocity} if self._velocity is not None else {}
+
     def step(self) -> None:
         self.step_count += 1
         for i, p in enumerate(self.params):

@@ -1,0 +1,143 @@
+"""Retry with exponential backoff and deterministic seeded jitter.
+
+A :class:`RetryPolicy` is a reusable description of *how* to retry —
+attempt budget, backoff curve, jitter — with the two side-effectful
+dependencies (the clock and ``sleep``) injected, so tests drive time
+instead of waiting for it.  Jitter comes from a seeded PRNG: two
+policies built with the same seed produce the same delay sequence,
+which keeps chaos tests and recorded runs reproducible.
+
+Counters (on the policy's observability hub):
+
+* ``resilience.retry.attempts`` — every call of the wrapped function.
+* ``resilience.retry.retries`` — attempts after the first.
+* ``resilience.retry.giveups`` — calls that exhausted the policy.
+* ``resilience.retry.sleep_s`` — histogram of backoff sleeps.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, TypeVar
+
+from repro.errors import ResilienceError
+from repro.obs import Observability, get_observability
+
+T = TypeVar("T")
+
+
+class RetryPolicy:
+    """Exponential backoff: ``base * multiplier**attempt``, jittered.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total calls of the wrapped function (first try included).
+    base_delay_s / multiplier / max_delay_s:
+        Backoff curve: the delay before retry *n* (0-based) is
+        ``min(base_delay_s * multiplier**n, max_delay_s)`` before jitter.
+    jitter:
+        Fractional spread in ``[0, 1]``; each delay is scaled by a
+        seeded uniform draw from ``[1 - jitter, 1 + jitter]``.  ``0``
+        disables jitter entirely.
+    seed:
+        Seeds the jitter PRNG — same seed, same delay sequence.
+    sleep / clock:
+        Injected side effects.  Tests pass a recording fake for
+        ``sleep`` and a fake clock so no wall time ever elapses.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay_s: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay_s: float = 2.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        obs: Observability | None = None,
+    ):
+        if max_attempts <= 0:
+            raise ResilienceError(f"max_attempts must be positive, got {max_attempts}")
+        if base_delay_s < 0:
+            raise ResilienceError(f"base_delay_s must be >= 0, got {base_delay_s}")
+        if multiplier < 1.0:
+            raise ResilienceError(f"multiplier must be >= 1, got {multiplier}")
+        if max_delay_s < base_delay_s:
+            raise ResilienceError("max_delay_s must be >= base_delay_s")
+        if not 0.0 <= jitter <= 1.0:
+            raise ResilienceError(f"jitter must be in [0, 1], got {jitter}")
+        self.max_attempts = max_attempts
+        self.base_delay_s = base_delay_s
+        self.multiplier = multiplier
+        self.max_delay_s = max_delay_s
+        self.jitter = jitter
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self._clock = clock
+        self.obs = obs or get_observability()
+        metrics = self.obs.metrics
+        self._m_attempts = metrics.counter("resilience.retry.attempts")
+        self._m_retries = metrics.counter("resilience.retry.retries")
+        self._m_giveups = metrics.counter("resilience.retry.giveups")
+        self._h_sleep = metrics.histogram("resilience.retry.sleep_s")
+
+    def reset(self) -> None:
+        """Rewind the jitter PRNG to the seed (fresh, reproducible run)."""
+        self._rng = random.Random(self.seed)
+
+    def delay_for(self, retry_index: int) -> float:
+        """Jittered backoff before retry ``retry_index`` (0-based).
+
+        Consumes one draw from the jitter PRNG, so calling this in a
+        loop reproduces exactly the sleeps :meth:`call` would perform.
+        """
+        delay = min(self.base_delay_s * self.multiplier**retry_index, self.max_delay_s)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return delay
+
+    def call(
+        self,
+        fn: Callable[..., T],
+        *args,
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+        budget_s: float | None = None,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+        **kwargs,
+    ) -> T:
+        """Invoke ``fn`` under this policy; re-raise its last error on give-up.
+
+        ``budget_s`` bounds the *total* time spent inside this call on
+        the policy's clock: a retry whose backoff sleep would overrun
+        the budget is not attempted (the serving engine derives this
+        from the request deadline, so retries never outlive the caller).
+        ``on_retry(retry_index, error)`` is invoked before each backoff
+        sleep — a hook for logging or fault accounting.
+        """
+        started = self._clock()
+        last_error: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            self._m_attempts.inc()
+            try:
+                return fn(*args, **kwargs)
+            except retry_on as error:
+                last_error = error
+                if attempt + 1 >= self.max_attempts:
+                    break
+                delay = self.delay_for(attempt)
+                if budget_s is not None and (self._clock() - started) + delay > budget_s:
+                    break
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                self._h_sleep.observe(delay)
+                if delay > 0:
+                    self._sleep(delay)
+                self._m_retries.inc()
+        self._m_giveups.inc()
+        assert last_error is not None
+        raise last_error

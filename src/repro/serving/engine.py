@@ -26,6 +26,13 @@ Instrumentation is on by default and costs well under 3 % of serving
 throughput (``benchmarks/bench_obs_overhead.py``); pass
 ``Observability.disabled()`` to turn it off entirely.
 
+Fault containment is delegated to :mod:`repro.resilience`
+(``docs/resilience.md``): an optional :class:`RetryPolicy` retries the
+primary scorer within the request deadline, and an optional
+:class:`CircuitBreaker` routes traffic straight to the degraded
+fallback while the primary path is known-broken, instead of paying a
+failing forward pass per batch.
+
 The engine is transport-agnostic: it schedules any
 ``batch_fn(list[ScoreRequest]) -> list[ScoreResult]``.
 :class:`~repro.serving.behavior_card.BehaviorCardService` supplies one
@@ -49,9 +56,17 @@ from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
-from repro.errors import DeadlineExceededError, QueueFullError, ServingError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    QueueFullError,
+    ServingError,
+    ServingTimeout,
+)
 from repro.obs import Observability, get_observability
 from repro.obs.metrics import Histogram
+from repro.resilience import CircuitBreaker, RetryPolicy
+from repro.resilience.faults import fault_point
 
 
 @dataclass(frozen=True)
@@ -178,9 +193,19 @@ class PendingResult:
         self._event.set()
 
     def result(self, timeout: float | None = None) -> ScoreResult:
-        """Block until scored; re-raise the stored error if the request failed."""
+        """Block until scored; re-raise the stored error if the request failed.
+
+        Raises :class:`~repro.errors.ServingTimeout` (not a generic
+        :class:`ServingError`) when the wait expires: the request is
+        **still queued / in flight** and may complete later — retry
+        :meth:`result` or abandon the answer, but do not assume scoring
+        failed.
+        """
         if not self._event.wait(timeout):
-            raise ServingError("result not ready within timeout")
+            raise ServingTimeout(
+                f"result for {self.request.user_id!r} not ready within "
+                f"{timeout}s; the request is still queued"
+            )
         if self._error is not None:
             raise self._error
         assert self._result is not None
@@ -210,6 +235,17 @@ class MicroBatchEngine:
         Injected time source — deadlines, latency accounting and (via
         the service's ``batch_fn``) audit timestamps are all
         deterministic under test.
+    retry_policy:
+        Optional :class:`~repro.resilience.RetryPolicy` around the
+        primary ``batch_fn``.  Transient faults are retried with
+        backoff, bounded by the earliest request deadline in the batch
+        (on the engine clock), so retries never outlive the callers.
+    breaker:
+        Optional :class:`~repro.resilience.CircuitBreaker`.  Each
+        batch's primary-path outcome feeds the breaker; while it is
+        open the engine skips the primary scorer entirely and routes
+        straight to ``fallback_fn`` (results flagged ``degraded``)
+        instead of hammering a failing model.
     obs:
         Observability hub; defaults to the process-wide hub from
         :func:`repro.obs.get_observability`.  Pass
@@ -222,11 +258,15 @@ class MicroBatchEngine:
         config: EngineConfig | None = None,
         fallback_fn: BatchFn | None = None,
         clock: Callable[[], float] = time.time,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
         obs: Observability | None = None,
     ):
         self.config = config or EngineConfig()
         self._batch_fn = batch_fn
         self._fallback_fn = fallback_fn
+        self._retry = retry_policy
+        self._breaker = breaker
         self._clock = clock
         self._queue: deque[tuple[PendingResult, float]] = deque()
         self._lock = threading.Lock()
@@ -249,6 +289,16 @@ class MicroBatchEngine:
         )
         self._worker: threading.Thread | None = None
         self._running = False
+        self._idle_wakeups = 0
+
+    @property
+    def breaker(self) -> CircuitBreaker | None:
+        return self._breaker
+
+    @property
+    def idle_wakeups(self) -> int:
+        """Times the worker woke with nothing to do (should stay 0)."""
+        return self._idle_wakeups
 
     # ------------------------------------------------------------------
     # Admission
@@ -307,14 +357,56 @@ class MicroBatchEngine:
         with self.obs.span("serving.batch", batch_size=len(batch)) as span:
             self._score_batch_inner(batch, span)
 
+    def _batch_deadline(self, batch: list[tuple[PendingResult, float]]) -> float | None:
+        """Earliest request deadline in the batch (bounds retry backoff)."""
+        deadlines = [
+            pending.request.deadline
+            for pending, _ in batch
+            if pending.request.deadline is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def _attempt_primary(
+        self, requests: list[ScoreRequest], deadline: float | None
+    ) -> list[ScoreResult]:
+        """One primary-path scoring, retried under the policy if present."""
+
+        def attempt() -> list[ScoreResult]:
+            fault_point("serving.forward", batch_size=len(requests))
+            return self._batch_fn(requests)
+
+        if self._retry is None:
+            return attempt()
+        budget = None
+        if deadline is not None:
+            budget = max(0.0, deadline - self._clock())
+        return self._retry.call(attempt, budget_s=budget)
+
     def _score_batch_inner(self, batch: list[tuple[PendingResult, float]], span) -> None:
         requests = [pending.request for pending, _ in batch]
         degraded = False
+        results: list[ScoreResult] | None = None
+        primary_error: BaseException | None = None
         forward_start = self._clock()
-        try:
-            with self.obs.span("serving.forward", batch_size=len(batch)):
-                results = self._batch_fn(requests)
-        except Exception as primary_error:
+        if self._breaker is not None and not self._breaker.allow():
+            # Tripped breaker: don't touch the failing primary path at
+            # all; the degraded fallback answers immediately.
+            primary_error = CircuitOpenError(
+                "serving circuit breaker is open; primary scorer bypassed"
+            )
+        else:
+            try:
+                with self.obs.span("serving.forward", batch_size=len(batch)):
+                    results = self._attempt_primary(requests, self._batch_deadline(batch))
+            except Exception as error:
+                primary_error = error
+                if self._breaker is not None:
+                    self._breaker.record_failure()
+            else:
+                if self._breaker is not None:
+                    self._breaker.record_success()
+        if results is None:
+            assert primary_error is not None
             if self._fallback_fn is None:
                 self._fail_batch(batch, primary_error)
                 return
@@ -445,16 +537,24 @@ class MicroBatchEngine:
     def _worker_loop(self) -> None:
         while True:
             with self._not_empty:
+                # Idle wait: no timeout, so a quiet engine does zero
+                # periodic wakeups — submit() and stop() notify.  Any
+                # return with nothing to do is a spurious wakeup,
+                # counted so tests can pin the no-polling guarantee.
                 while self._running and not self._queue:
-                    self._not_empty.wait(timeout=0.05)
+                    self._not_empty.wait()
+                    if self._running and not self._queue:
+                        self._idle_wakeups += 1
                 if not self._running:
                     return
-                first_enqueue = time.monotonic()
-            # Hold the batch open briefly for stragglers, unless full.
-            deadline = first_enqueue + self.config.max_wait_s
-            while time.monotonic() < deadline:
-                with self._lock:
-                    if len(self._queue) >= self.config.max_batch_size:
+            # Hold the batch open for stragglers: condition-timed waits
+            # computed from max_wait_s, woken early by submit() when
+            # the batch fills — never a sleep/poll spin.
+            deadline = time.monotonic() + self.config.max_wait_s
+            with self._not_empty:
+                while self._running and len(self._queue) < self.config.max_batch_size:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
                         break
-                time.sleep(min(0.001, self.config.max_wait_s))
+                    self._not_empty.wait(timeout=remaining)
             self.pump()

@@ -17,27 +17,47 @@ from __future__ import annotations
 import json
 import os
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
+from types import MappingProxyType
+from typing import Mapping
 
 import numpy as np
 
 from repro.errors import CheckpointError
 from repro.nn.module import Module
 from repro.obs import Observability, get_observability
+from repro.optim.optimizer import Optimizer
 
 
 @dataclass(frozen=True)
 class CheckpointRecord:
-    """Metadata for one stored checkpoint."""
+    """Metadata for one stored checkpoint.
+
+    ``extra`` carries every sidecar field beyond ``step`` / ``lr`` —
+    anything callers passed to ``save(..., extra=...)`` (the trainer's
+    exact-resume state lives here) — so metadata round-trips through
+    :meth:`CheckpointManager.checkpoints` instead of being readable
+    only by re-parsing the ``.json`` by hand.
+    """
 
     step: int
     lr: float
     path: Path
+    extra: Mapping = field(default_factory=dict, compare=False)
 
     @property
     def meta_path(self) -> Path:
         return self.path.with_suffix(".json")
+
+    @property
+    def opt_path(self) -> Path:
+        """Optimizer-state arrays (``.opt.npz``); absent for param-only saves."""
+        return self.path.with_suffix(".opt.npz")
+
+    @property
+    def has_optimizer_state(self) -> bool:
+        return self.opt_path.exists()
 
 
 class CheckpointManager:
@@ -61,31 +81,54 @@ class CheckpointManager:
         self.obs = obs or get_observability()
         self._m_orphans = self.obs.metrics.counter("checkpoint.orphans_skipped")
 
-    def save(self, model: Module, step: int, lr: float, extra: dict | None = None) -> CheckpointRecord:
+    def save(
+        self,
+        model: Module,
+        step: int,
+        lr: float,
+        extra: dict | None = None,
+        optimizer: Optimizer | dict[str, np.ndarray] | None = None,
+    ) -> CheckpointRecord:
         """Persist the model state at ``step`` trained with rate ``lr``.
 
-        Both files are written to temporaries and renamed into place —
-        sidecar first, so an interrupted save leaves either nothing
-        visible or a complete checkpoint, never an orphan ``.npz``.
+        ``optimizer`` (an :class:`~repro.optim.Optimizer` or a raw
+        ``state_dict()``) additionally writes ``step-XXXXXX.opt.npz``
+        with the moment buffers, enabling bit-identical crash-resume.
+
+        All files are written to temporaries and renamed into place —
+        optimizer arrays, then sidecar, then parameters — so an
+        interrupted save leaves either nothing visible or a complete
+        checkpoint, never an orphan ``.npz`` (listing keys off the
+        ``.json``-paired parameter file).
         """
         path = self.directory / f"step-{step:06d}.npz"
         meta_path = path.with_suffix(".json")
+        opt_path = path.with_suffix(".opt.npz")
         tmp_npz = self.directory / f".step-{step:06d}.tmp.npz"
         tmp_json = self.directory / f".step-{step:06d}.tmp.json"
+        tmp_opt = self.directory / f".step-{step:06d}.tmp.opt.npz"
+        opt_state = optimizer.state_dict() if isinstance(optimizer, Optimizer) else optimizer
         try:
             np.savez(tmp_npz, **model.state_dict())
             meta = {"step": step, "lr": lr}
             if extra:
                 meta.update(extra)
             tmp_json.write_text(json.dumps(meta))
-            # Sidecar first: a lone .json is invisible to checkpoints(),
-            # a lone .npz would be an orphan.
+            if opt_state is not None:
+                np.savez(tmp_opt, **opt_state)
+                os.replace(tmp_opt, opt_path)
+            # Sidecar before parameters: a lone .json (or .opt.npz) is
+            # invisible to checkpoints(), a lone .npz would be an orphan.
             os.replace(tmp_json, meta_path)
             os.replace(tmp_npz, path)
         finally:
             tmp_npz.unlink(missing_ok=True)
             tmp_json.unlink(missing_ok=True)
-        record = CheckpointRecord(step=step, lr=lr, path=path)
+            tmp_opt.unlink(missing_ok=True)
+        record = CheckpointRecord(
+            step=step, lr=lr, path=path,
+            extra=MappingProxyType(dict(extra) if extra else {}),
+        )
         if self.keep is not None:
             self._prune()
         return record
@@ -95,6 +138,7 @@ class CheckpointManager:
         for record in records[: max(0, len(records) - self.keep)]:
             record.path.unlink(missing_ok=True)
             record.meta_path.unlink(missing_ok=True)
+            record.opt_path.unlink(missing_ok=True)
 
     def checkpoints(self) -> list[CheckpointRecord]:
         """All stored checkpoints, ordered by step.
@@ -105,6 +149,8 @@ class CheckpointManager:
         """
         records = []
         for path in sorted(self.directory.glob("step-*.npz")):
+            if path.name.endswith(".opt.npz"):
+                continue  # optimizer-state sibling, not a checkpoint
             meta_path = path.with_suffix(".json")
             if not meta_path.exists():
                 warnings.warn(
@@ -116,7 +162,15 @@ class CheckpointManager:
                 self.obs.event("checkpoint.orphan_skipped", path=str(path))
                 continue
             meta = json.loads(meta_path.read_text())
-            records.append(CheckpointRecord(step=int(meta["step"]), lr=float(meta["lr"]), path=path))
+            extra = {k: v for k, v in meta.items() if k not in ("step", "lr")}
+            records.append(
+                CheckpointRecord(
+                    step=int(meta["step"]),
+                    lr=float(meta["lr"]),
+                    path=path,
+                    extra=MappingProxyType(extra),
+                )
+            )
         records.sort(key=lambda r: r.step)
         return records
 
@@ -130,6 +184,14 @@ class CheckpointManager:
         if not record.path.exists():
             raise CheckpointError(f"checkpoint file missing: {record.path}")
         with np.load(record.path) as data:
+            return {key: data[key] for key in data.files}
+
+    @staticmethod
+    def load_optimizer_state(record: CheckpointRecord) -> dict[str, np.ndarray] | None:
+        """The checkpoint's optimizer arrays, or ``None`` for param-only saves."""
+        if not record.opt_path.exists():
+            return None
+        with np.load(record.opt_path) as data:
             return {key: data[key] for key in data.files}
 
     @staticmethod

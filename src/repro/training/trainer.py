@@ -3,6 +3,14 @@
 Mirrors the paper's training configuration (Table 3): AdamW, cosine-decay
 learning rate, batch size with gradient accumulation, periodic
 checkpoints consumed later by TracInCP / TracSeq.
+
+Checkpoints capture the **full training state** — model parameters,
+optimizer moments (``.opt.npz``), the LR-schedule position and the
+data-order RNG state at the start of the current epoch — so
+:meth:`Trainer.resume` continues a crashed run *bit-identically*: the
+resumed run's final weights equal an uninterrupted run's, moment decay,
+bias correction, shuffle order and all (pinned by the kill-and-resume
+chaos test in ``tests/test_resilience.py``).
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from repro.obs import Observability, get_observability
 from repro.optim.clip import clip_grad_norm
 from repro.optim.optimizer import Optimizer
 from repro.optim.schedule import ConstantLR, LRSchedule
+from repro.resilience.faults import fault_point
 from repro.training.batching import iter_batches
 from repro.training.callbacks import Callback, History, MetricsLogger, StepLog
 from repro.training.checkpoint import CheckpointManager
@@ -91,13 +100,29 @@ class Trainer:
         # an auto-installed MetricsLogger wired to this trainer's hub.
         self.callbacks: list[Callback] = [self.history, MetricsLogger(self.obs), *callbacks]
         self.global_step = 0
+        # Position within the epoch loop, captured into checkpoint
+        # metadata for exact resume.
+        self._epoch = 0
+        self._micro_consumed = 0
+        self._epoch_rng_state: dict | None = None
+        self._resume_state: dict | None = None
 
     def resume(self) -> int:
         """Restore the latest checkpoint and continue from its step.
 
-        Returns the restored step (0 when no checkpoint exists).  Only
-        model parameters are checkpointed; optimizer moments restart,
-        which is the usual trade-off of parameter-only checkpoints.
+        Returns the restored step (0 when no checkpoint exists).
+        Restores model parameters, optimizer moments (when the
+        checkpoint has an ``.opt.npz``), the LR-schedule position
+        (``global_step``) and — via metadata the trainer wrote at save
+        time — the epoch, the number of micro-batches already consumed
+        in it, and the shuffle RNG state at the epoch's start.  A
+        subsequent :meth:`train` call with the original examples then
+        replays the exact uninterrupted trajectory: same batches, same
+        order, same moments, bit-identical final weights.
+
+        Checkpoints from older writers (parameters only, no trainer
+        metadata) still resume, but restart the optimizer moments and
+        the data order — the pre-resilience behavior.
         """
         if self.checkpoints is None:
             raise ConfigError("resume() requires a checkpoint manager")
@@ -105,7 +130,12 @@ class Trainer:
         if record is None:
             return 0
         CheckpointManager.restore(self.model, record)
+        opt_state = CheckpointManager.load_optimizer_state(record)
+        if opt_state is not None:
+            self.optimizer.load_state_dict(opt_state)
         self.global_step = record.step
+        trainer_meta = record.extra.get("trainer")
+        self._resume_state = dict(trainer_meta) if trainer_meta else None
         return record.step
 
     def _run_micro_batch(self, batch) -> float:
@@ -121,7 +151,14 @@ class Trainer:
         return value
 
     def train(self, examples: Sequence[TokenExample]) -> History:
-        """Train over ``examples`` (token id / label pairs); returns history."""
+        """Train over ``examples`` (token id / label pairs); returns history.
+
+        After :meth:`resume` restored a mid-run checkpoint, this picks
+        up exactly where the crashed run left off: the shuffle RNG is
+        rewound to the interrupted epoch's start, the epoch's order is
+        re-derived, and the micro-batches the crashed run already
+        consumed are skipped without touching the weights.
+        """
         if not examples:
             raise ConfigError("train() received no examples")
         cfg = self.config
@@ -130,12 +167,31 @@ class Trainer:
         max_len = cfg.max_seq_len or self.model.config.max_seq_len
         stop = False
 
+        start_epoch = 0
+        skip_micro = 0
+        resume = self._resume_state
+        self._resume_state = None
+        if resume is not None:
+            if resume.get("rng_state") is not None:
+                rng.bit_generator.state = resume["rng_state"]
+            start_epoch = int(resume.get("epoch", 0))
+            skip_micro = int(resume.get("micro_consumed", 0))
+
+        self._epoch = start_epoch
+        self._micro_consumed = 0
+        self._epoch_rng_state = rng.bit_generator.state
+
         # Checkpoint 0 captures the initial parameters so influence replay
         # can include the pre-training state.
         if self.checkpoints is not None and self.global_step == 0:
-            self.checkpoints.save(self.model, step=0, lr=self.schedule.lr_at(0))
+            self._save_checkpoint(step=0, lr=self.schedule.lr_at(0))
 
-        for epoch in range(cfg.epochs):
+        for epoch in range(start_epoch, cfg.epochs):
+            self._epoch = epoch
+            self._micro_consumed = 0
+            # Captured *before* the epoch's shuffle draws, so a resumed
+            # run can rewind and re-derive the identical data order.
+            self._epoch_rng_state = rng.bit_generator.state
             epoch_losses: list[float] = []
             micro_iter = iter_batches(
                 examples,
@@ -147,7 +203,14 @@ class Trainer:
             )
             pending: list = []
             for batch in micro_iter:
+                if skip_micro > 0:
+                    # Already consumed by the crashed run before its
+                    # last checkpoint; weights must not see it again.
+                    skip_micro -= 1
+                    self._micro_consumed += 1
+                    continue
                 pending.append(batch)
+                self._micro_consumed += 1
                 if len(pending) < cfg.grad_accum_steps:
                     continue
                 loss = self._step(pending)
@@ -168,9 +231,29 @@ class Trainer:
                 break
         return self.history
 
+    def _save_checkpoint(self, step: int, lr: float) -> None:
+        """Full-state checkpoint: parameters, moments, loop position."""
+        assert self.checkpoints is not None
+        self.checkpoints.save(
+            self.model,
+            step=step,
+            lr=lr,
+            extra={
+                "trainer": {
+                    "epoch": self._epoch,
+                    "micro_consumed": self._micro_consumed,
+                    "rng_state": self._epoch_rng_state,
+                }
+            },
+            optimizer=self.optimizer,
+        )
+        # Chaos tests arm this to kill the run right after checkpoint k.
+        fault_point("training.checkpoint_saved", step=step)
+
     def _step(self, micro_batches) -> float:
         started = self._clock()
         tokens = int(sum(batch.input_ids.size for batch in micro_batches))
+        fault_point("training.step", step=self.global_step + 1)
         with self.obs.span(
             "training.step", step=self.global_step + 1, tokens=tokens
         ):
@@ -208,5 +291,5 @@ class Trainer:
             and self.config.checkpoint_every is not None
             and self.global_step % self.config.checkpoint_every == 0
         ):
-            self.checkpoints.save(self.model, step=self.global_step, lr=lr)
+            self._save_checkpoint(step=self.global_step, lr=lr)
         return loss

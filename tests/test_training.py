@@ -124,6 +124,18 @@ class TestCheckpointManager:
         record = manager.save(tiny_model, step=1, lr=0.1, extra={"epoch": 3})
         assert json.loads(record.meta_path.read_text())["epoch"] == 3
 
+    def test_extra_metadata_round_trips_through_listing(self, tiny_model, tmp_path):
+        """Regression: checkpoints() used to drop everything but step/lr."""
+        manager = CheckpointManager(tmp_path)
+        manager.save(tiny_model, step=1, lr=0.1, extra={"epoch": 3, "tag": "mid"})
+        for record in (manager.checkpoints()[0], manager.latest()):
+            assert record.extra["epoch"] == 3
+            assert record.extra["tag"] == "mid"
+        fresh = CheckpointManager(tmp_path).latest()
+        assert dict(fresh.extra) == {"epoch": 3, "tag": "mid"}
+        with pytest.raises(TypeError):
+            fresh.extra["epoch"] = 4  # read-only view
+
 
 class TestTrainingConfig:
     @pytest.mark.parametrize(
