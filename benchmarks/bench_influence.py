@@ -23,13 +23,20 @@ import numpy as np
 import pytest
 
 from repro.eval import format_table
-from repro.influence import GradientProjector, GradientStore, TracSeq, trainable_parameters
+from repro.influence import (
+    DataInf,
+    GradientProjector,
+    GradientStore,
+    TracInCP,
+    TracSeq,
+    trainable_parameters,
+)
 from repro.nn import MistralTiny, ModelConfig
 from repro.obs import Observability
 from repro.optim import AdamW
 from repro.training import CheckpointManager, Trainer, TrainingConfig
 
-from conftest import save_result
+from conftest import RESULTS_DIR, save_result
 
 SEED = 0
 N_TRAIN, N_TEST = 24, 6
@@ -83,11 +90,11 @@ def _workload(model, checkpoints, train, test, store_factory):
     tracer = TracSeq(model, checkpoints, gamma=0.9, projector=projector,
                      store=store_factory())
     for call in range(N_REPEAT_SCORES):
-        results[f"scores_call{call}"] = tracer.scores(train, test)
+        results[f"scores_call{call}"] = tracer.influence(train, test).sum(axis=1)
     for gamma in GAMMAS:
         sweep = TracSeq(model, checkpoints, gamma=gamma, projector=projector,
                         store=store_factory())
-        results[f"gamma_{gamma}"] = sweep.scores(train, test)
+        results[f"gamma_{gamma}"] = sweep.influence(train, test).sum(axis=1)
     return results, time.perf_counter() - started
 
 
@@ -140,15 +147,85 @@ def test_disk_tier_warm_start(replay_setup, tmp_path):
 
     warm = TracSeq(model, checkpoints, gamma=0.9, projector=projector,
                    cache_dir=cache_dir)
-    expected = warm.scores(train, test)
+    expected = warm.influence(train, test).sum(axis=1)
 
     obs = Observability.create()
     cold_store = GradientStore(cache_dir=cache_dir, obs=obs)
     restarted = TracSeq(model, checkpoints, gamma=0.9, projector=projector,
                         store=cold_store, obs=obs)
-    got = restarted.scores(train, test)
+    got = restarted.influence(train, test).sum(axis=1)
 
     np.testing.assert_allclose(got, expected, rtol=0, atol=1e-10)
     counters = obs.metrics.snapshot()["counters"]
     assert counters.get("influence.gradient_passes", 0) == 0
     assert cold_store.stats()["hits_disk"] > 0
+
+
+DATAINF_MIN_SPEEDUP = 1.5
+DATAINF_SECTION = "DataInf vs TracInCP"
+
+
+def _rank_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation (ranks, then Pearson)."""
+    ranks_a = np.argsort(np.argsort(a)).astype(np.float64)
+    ranks_b = np.argsort(np.argsort(b)).astype(np.float64)
+    return float(np.corrcoef(ranks_a, ranks_b)[0, 1])
+
+
+def test_datainf_faster_than_tracin_replay(replay_setup):
+    """DataInf (one checkpoint, closed form) vs TracInCP (full replay).
+
+    Both arms run cold (fresh stores): the comparison is honest compute
+    cost, not cache luck.  DataInf takes one backward pass per example
+    at the final checkpoint; TracInCP takes one per (checkpoint,
+    example) pair — the wall-clock gap grows with checkpoint count.
+    Accuracy retention is reported as the Spearman rank correlation of
+    the per-train-example score sums plus the top-5 overlap.
+    """
+    model, checkpoints, train, test = replay_setup
+    projector = _projector(model)
+
+    started = time.perf_counter()
+    tracin_scores = TracInCP(
+        model, checkpoints, projector=projector, store=GradientStore()
+    ).influence(train, test).sum(axis=1)
+    t_tracin = time.perf_counter() - started
+
+    started = time.perf_counter()
+    datainf_scores = DataInf(
+        model, checkpoints, projector=projector, store=GradientStore()
+    ).influence(train, test).sum(axis=1)
+    t_datainf = time.perf_counter() - started
+
+    speedup = t_tracin / t_datainf
+    correlation = _rank_correlation(tracin_scores, datainf_scores)
+    k = 5
+    top_tracin = set(np.argsort(tracin_scores)[::-1][:k])
+    top_datainf = set(np.argsort(datainf_scores)[::-1][:k])
+    overlap = len(top_tracin & top_datainf) / k
+
+    table = format_table(
+        ["Estimator", "Checkpoints", "Seconds", "Speedup", "Rank corr", f"Top-{k} overlap"],
+        [
+            ["tracin (replay)", len(checkpoints), f"{t_tracin:.2f}", "1.0x", "1.00", "1.00"],
+            ["datainf (closed form)", 1, f"{t_datainf:.2f}", f"{speedup:.1f}x",
+             f"{correlation:.2f}", f"{overlap:.2f}"],
+        ],
+        title=(
+            f"{DATAINF_SECTION}: {N_TRAIN}+{N_TEST} examples, "
+            f"k={PROJECTION_K}, accuracy retention vs full replay"
+        ),
+    )
+    # Append below the gradient-store table in influence.txt (replacing
+    # any stale DataInf section from a previous partial run).
+    path = RESULTS_DIR / "influence.txt"
+    existing = path.read_text() if path.exists() else ""
+    existing = existing.split(DATAINF_SECTION.join(["", ""]))[0] if DATAINF_SECTION in existing else existing
+    head = existing.rstrip()
+    save_result("influence", (head + "\n\n" + table) if head else table)
+
+    assert speedup >= DATAINF_MIN_SPEEDUP, (
+        f"DataInf speedup {speedup:.2f}x below the {DATAINF_MIN_SPEEDUP}x floor "
+        f"(tracin {t_tracin:.2f}s vs datainf {t_datainf:.2f}s)"
+    )
+    assert np.isfinite(correlation)

@@ -7,10 +7,18 @@ Subcommands::
     python -m repro train --data d.jsonl --out model/
     python -m repro evaluate --model model/ --data test.jsonl
     python -m repro pipeline --dataset german        # full prune+mix+tune
+    python -m repro influence --data d.jsonl --estimator datainf --top-k 5
     python -m repro table3                           # config table
     python -m repro obs report --events run.jsonl    # summarize a recorded run
 
 Everything is seeded; rerunning a command reproduces its output.
+
+``repro influence`` is the one front door to attribution: estimator
+choice (``tracin`` / ``tracseq`` / ``datainf``), top-k retrieval,
+token-wise attribution, worker fan-out and the gradient cache all live
+on it.  The influence knobs previously scattered on ``pipeline``
+(``--strategy``, ``--gamma``) keep working but are deprecated in favor
+of ``--estimator`` (which threads through ``PrunerConfig.strategy``).
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
+import warnings
 from pathlib import Path
 
 from repro.config import bench_config, table3_rows, test_config
@@ -122,6 +131,14 @@ def cmd_evaluate(args) -> int:
 
 
 def cmd_pipeline(args) -> int:
+    if args.strategy is not None:
+        warnings.warn(
+            "pipeline --strategy is deprecated; use --estimator "
+            "(and see `repro influence` for attribution-only runs)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    strategy = args.estimator or args.strategy or "tracseq"
     dataset = load_dataset(args.dataset, n=args.n, seed=args.seed)
     train, test = dataset.split(test_fraction=0.2, seed=args.seed)
     examples = build_classification_examples(train)
@@ -130,7 +147,7 @@ def cmd_pipeline(args) -> int:
         PipelineConfig(
             zigong=_zigong_config(args),
             pruner=PrunerConfig(
-                strategy=args.strategy,
+                strategy=strategy,
                 gamma=args.gamma,
                 workers=args.workers,
                 cache_dir=args.cache_dir,
@@ -148,13 +165,93 @@ def cmd_pipeline(args) -> int:
     )
     print(format_table(
         ["Dataset", "Strategy", "Acc", "F1", "Miss", "KS"],
-        [[args.dataset, args.strategy, eval_result.accuracy, eval_result.f1,
+        [[args.dataset, strategy, eval_result.accuracy, eval_result.f1,
           eval_result.miss, eval_result.ks]],
         title="Pipeline result",
     ))
     if args.out:
         result.zigong.save(args.out)
         print(f"model saved to {args.out}")
+    return 0
+
+
+def cmd_influence(args) -> int:
+    """Attribution front door: train (or reuse checkpoints), rank, explain."""
+    import tempfile
+
+    from repro.influence import make_estimator
+    from repro.influence.gradients import GradientProjector, trainable_parameters
+    from repro.training.checkpoint import CheckpointManager
+
+    train = load_jsonl(args.data)
+    val = load_jsonl(args.val_data) if args.val_data else None
+    if val is None:
+        split = max(1, int(0.9 * len(train)))
+        train, val = train[:split], train[split:] or train[-1:]
+    zigong = ZiGong.from_examples(list(train) + list(val), config=_zigong_config(args))
+    checkpoint_dir = args.checkpoint_dir or tempfile.mkdtemp(prefix="repro-influence-")
+    manager = CheckpointManager(checkpoint_dir)
+    if not manager.checkpoints():
+        zigong.finetune(train, checkpoint_dir=checkpoint_dir)
+    else:
+        # Reusing a checkpoint directory: the model must still carry the
+        # adapters those checkpoints were written with.
+        zigong.apply_lora()
+    checkpoints = manager.checkpoints()
+    projector = None
+    if args.projection_dim:
+        dim = sum(p.size for p in trainable_parameters(zigong.model))
+        projector = GradientProjector(dim, k=args.projection_dim, seed=args.seed)
+    estimator = make_estimator(
+        args.estimator,
+        zigong.model,
+        checkpoints,
+        gamma=args.gamma,
+        lam=args.lam,
+        projector=projector,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+    train_tokens = zigong.tokenize(train)
+    val_tokens = zigong.tokenize(val)
+    top = estimator.k_most_influential(
+        train_tokens, val_tokens, k=args.top_k, proponents=not args.opponents
+    )
+    direction = "opponents" if args.opponents else "proponents"
+    rows = []
+    for j in range(len(val)):
+        ranked = ", ".join(
+            f"#{index}:{score:+.4f}"
+            for index, score in zip(top.indices[j], top.scores[j])
+        )
+        rows.append([j, ranked])
+    print(format_table(
+        ["Test", f"top-{args.top_k} {direction} (train index:score)"],
+        rows,
+        title=f"Influence ({estimator.estimator_name}, {len(train)} train examples)",
+    ))
+    if args.tokens:
+        id_to_token = zigong.tokenizer.vocab.id_to_token
+        token_rows = []
+        for j, example in enumerate(val_tokens):
+            attribution = estimator.token_influence(train_tokens, example)
+            per_position = attribution.position_totals()
+            ranked = sorted(
+                zip(attribution.positions, per_position),
+                key=lambda ps: abs(ps[1]),
+                reverse=True,
+            )[:args.top_k]
+            token_rows.append([
+                j,
+                ", ".join(
+                    f"{id_to_token(int(example[0][p]))}:{s:+.4f}" for p, s in ranked
+                ),
+            ])
+        print(format_table(
+            ["Test", f"top-{args.top_k} tokens (token:score)"],
+            token_rows,
+            title="Token-wise attribution",
+        ))
     return 0
 
 
@@ -214,7 +311,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("pipeline", help="run the full prune + mix + fine-tune pipeline")
     p.add_argument("--dataset", default="german")
     p.add_argument("--n", type=int, default=400)
-    p.add_argument("--strategy", default="tracseq")
+    p.add_argument("--estimator", default=None,
+                   help="pruning score backend (tracin/tracseq/datainf/agent/combined/ppl/random)")
+    p.add_argument("--strategy", default=None, help="deprecated alias of --estimator")
     p.add_argument("--gamma", type=float, default=0.9)
     p.add_argument("--workers", type=int, default=0,
                    help="process-pool size for influence checkpoint replay (0 = in-process)")
@@ -227,6 +326,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--preset", choices=("test", "bench"), default="test")
     p.add_argument("--out", default=None)
     p.set_defaults(fn=cmd_pipeline)
+
+    p = sub.add_parser(
+        "influence",
+        help="rank influential training examples (and tokens) for test examples",
+    )
+    p.add_argument("--data", required=True, help="training examples (jsonl)")
+    p.add_argument("--val-data", default=None,
+                   help="test examples to attribute (jsonl); default: a 10%% tail split of --data")
+    p.add_argument("--estimator", choices=("tracin", "tracseq", "datainf"), default="datainf")
+    p.add_argument("--top-k", type=int, default=5)
+    p.add_argument("--opponents", action="store_true",
+                   help="rank the most *opposing* examples instead of proponents")
+    p.add_argument("--tokens", action="store_true",
+                   help="also print the token-wise attribution per test example")
+    p.add_argument("--gamma", type=float, default=0.9, help="tracseq time decay")
+    p.add_argument("--lam", type=float, default=None,
+                   help="datainf Hessian regularizer (default: per-layer heuristic)")
+    p.add_argument("--projection-dim", type=int, default=128,
+                   help="gradient sketch size (0 = exact gradients)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="process-pool size for influence checkpoint replay (0 = in-process)")
+    p.add_argument("--cache-dir", default=None,
+                   help="directory for the gradient store's disk tier (reused across runs)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="reuse checkpoints from a previous run instead of retraining")
+    p.add_argument("--epochs", type=int, default=4)
+    p.add_argument("--lr", type=float, default=5e-3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--preset", choices=("test", "bench"), default="test")
+    p.set_defaults(fn=cmd_influence)
 
     sub.add_parser("table3", help="print the configuration table").set_defaults(fn=cmd_table3)
 

@@ -17,13 +17,14 @@ import numpy as np
 from repro.errors import InfluenceError
 from repro.data.instruct import InstructExample, labels_of, timestamps_of
 from repro.influence.agent import AgentScorer
+from repro.influence.datainf import DataInf
 from repro.influence.gradients import GradientProjector, trainable_parameters
 from repro.influence.selection import normalize_scores, select_top_k, top_k_indices
 from repro.influence.tracin import TracInCP
 from repro.influence.tracseq import TracSeq
 from repro.training.checkpoint import CheckpointRecord
 
-STRATEGIES = ("tracseq", "tracin", "agent", "combined", "ppl", "random")
+STRATEGIES = ("tracseq", "tracin", "datainf", "agent", "combined", "ppl", "random")
 
 
 @dataclass(frozen=True)
@@ -33,6 +34,9 @@ class PrunerConfig:
     ``strategy``:
         * ``tracseq``  — time-decayed checkpoint influence (the paper);
         * ``tracin``   — plain TracInCP (gamma = 1 ablation);
+        * ``datainf``  — closed-form Hessian-adjusted influence at the
+          final checkpoint (Kwon et al., 2023) — no replay, the cheap
+          option at scale;
         * ``agent``    — lightweight agent-model confidence only;
         * ``combined`` — mean of normalized agent + TracSeq scores;
         * ``ppl``      — negative perplexity under the last checkpoint
@@ -79,22 +83,23 @@ class DataPruner:
     # ------------------------------------------------------------------
 
     def _tracer(self, zigong, checkpoints: Sequence[CheckpointRecord]):
+        """The :class:`~repro.influence.api.DataInfluence` backend in use."""
         cfg = self.config
         projector = None
         if cfg.projection_dim is not None:
             dim = sum(p.size for p in trainable_parameters(zigong.model))
             projector = GradientProjector(dim, k=cfg.projection_dim, seed=cfg.seed)
-        if cfg.strategy == "tracin":
-            return TracInCP(
-                zigong.model, checkpoints, projector=projector,
-                normalize=cfg.normalize_gradients,
-                workers=cfg.workers, cache_dir=cfg.cache_dir,
-            )
-        return TracSeq(
-            zigong.model, checkpoints, gamma=cfg.gamma, projector=projector,
+        shared = dict(
+            projector=projector,
             normalize=cfg.normalize_gradients,
-            workers=cfg.workers, cache_dir=cfg.cache_dir,
+            workers=cfg.workers,
+            cache_dir=cfg.cache_dir,
         )
+        if cfg.strategy == "tracin":
+            return TracInCP(zigong.model, checkpoints, **shared)
+        if cfg.strategy == "datainf":
+            return DataInf(zigong.model, checkpoints, **shared)
+        return TracSeq(zigong.model, checkpoints, gamma=cfg.gamma, **shared)
 
     def score(
         self,
@@ -121,11 +126,9 @@ class DataPruner:
         tracer = self._tracer(zigong, checkpoints)
         train_tokens = zigong.tokenize(train_examples)
         val_tokens = zigong.tokenize(val_examples)
-        if cfg.strategy == "tracin":
-            influence = tracer.scores(train_tokens, val_tokens)
-        else:
-            sample_times = timestamps_of(train_examples) if cfg.use_sample_time else None
-            influence = tracer.scores(train_tokens, val_tokens, sample_times=sample_times)
+        influence = tracer.influence(train_tokens, val_tokens).sum(axis=1)
+        if cfg.strategy in ("tracseq", "combined") and cfg.use_sample_time:
+            influence = influence * tracer.sample_decay(timestamps_of(train_examples))
         if cfg.strategy == "combined":
             agent = self._agent_scores(train_examples)
             return 0.5 * normalize_scores(influence) + 0.5 * normalize_scores(agent)

@@ -1,0 +1,198 @@
+"""The unified attribution interface: one API, swappable estimators.
+
+Captum frames data attribution as an abstract ``DataInfluence`` class
+(``influence()``, self-influence, k-most-influential) with concrete
+estimators behind it; Bergson makes the same argument at library scale.
+This module is that interface for the repo's estimators:
+
+* :class:`~repro.influence.tracin.TracInCP` — checkpoint-replay
+  gradient dot products (Pruthi et al., 2020);
+* :class:`~repro.influence.tracseq.TracSeq` — TracInCP with the paper's
+  temporal decay (Eq. 1);
+* :class:`~repro.influence.datainf.DataInf` — closed-form
+  Hessian-adjusted scores over the *final* checkpoint only (Kwon et
+  al., 2023), dramatically cheaper for LoRA-tuned models.
+
+All three share the same :class:`~repro.influence.store.GradientStore`
+rows and :class:`~repro.influence.engine.ParallelInfluenceEngine`
+machinery, so swapping estimators never recomputes gradients the store
+already holds.  Every estimator also supports **token-wise
+attribution** (:meth:`DataInfluence.token_influence`): the per-position
+decomposition of a test example's influence scores, which is what the
+served "why was this applicant declined" query
+(:class:`~repro.serving.explain.ExplainService`) returns to a
+regulator.
+
+The pre-interface call shapes — ``influence_matrix()`` and
+``scores()`` — keep working through once-per-call-site
+``DeprecationWarning`` shims (the same pattern the serving layer used
+for its config-object migration).
+"""
+
+from __future__ import annotations
+
+import abc
+import sys
+import warnings
+from dataclasses import dataclass
+from typing import NamedTuple, Sequence
+
+import numpy as np
+
+from repro.errors import InfluenceError
+from repro.influence.gradients import TokenExample
+from repro.influence.selection import bottom_k_indices, top_k_indices
+
+# Call sites (file, line, message) already warned about — deprecation
+# shims warn exactly once per call site (scoring loops stay quiet, every
+# distinct usage still gets one warning).  Shared across all estimators.
+_WARNED_SITES: set[tuple[str, int, str]] = set()
+
+
+def warn_deprecated_once(message: str, stacklevel: int = 2) -> None:
+    """Emit ``DeprecationWarning`` once per (caller file, line, message)."""
+    try:
+        frame = sys._getframe(stacklevel)
+        site = (frame.f_code.co_filename, frame.f_lineno, message)
+    except ValueError:  # stack shallower than expected; warn unconditionally
+        site = None
+    if site is not None:
+        if site in _WARNED_SITES:
+            return
+        _WARNED_SITES.add(site)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel + 1)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget warned call sites (so tests can re-assert the first hit)."""
+    _WARNED_SITES.clear()
+
+
+class KMostInfluential(NamedTuple):
+    """Result of :meth:`DataInfluence.k_most_influential`.
+
+    ``indices[i, j]`` is the train-set index of the ``j``-th most
+    influential example for test example ``i`` (proponents in
+    descending influence order, opponents ascending);
+    ``scores[i, j]`` is its influence on that test example.
+    """
+
+    indices: np.ndarray  # (n_test, k) int
+    scores: np.ndarray  # (n_test, k) float
+
+
+@dataclass(frozen=True)
+class TokenInfluence:
+    """Per-token attribution of one test example's influence scores.
+
+    ``scores[i, t]`` is the contribution of the test example's token at
+    sequence position ``positions[t]`` to training example ``i``'s
+    influence.  Positions cover the *supervised* label positions (the
+    answer span; prompt positions masked to ``-100`` carry no loss and
+    therefore no attribution).  With unnormalized gradients (the
+    default), ``scores.sum(axis=1)`` equals the sequence-level
+    ``influence()`` column for this test example (up to backward-pass
+    roundoff) — attribution is a decomposition, not a heuristic.
+    """
+
+    positions: tuple[int, ...]
+    scores: np.ndarray  # (n_train, n_positions)
+
+    def totals(self) -> np.ndarray:
+        """Sequence-level influence per training example."""
+        return self.scores.sum(axis=1)
+
+    def position_totals(self) -> np.ndarray:
+        """Aggregate influence per token position, summed over train."""
+        return self.scores.sum(axis=0)
+
+
+class DataInfluence(abc.ABC):
+    """Abstract interface every influence estimator implements.
+
+    Concrete estimators differ only in *how* a pairwise influence score
+    is computed; everything above — Top-K retrieval, token-wise
+    attribution, the serving explain path, the pruning pipeline — is
+    written against this interface and works with any of them.
+    """
+
+    #: short identifier used in cache keys, CLI flags and audit entries
+    estimator_name: str = "abstract"
+
+    @abc.abstractmethod
+    def influence(
+        self,
+        train_examples: Sequence[TokenExample],
+        test_examples: Sequence[TokenExample],
+    ) -> np.ndarray:
+        """Pairwise influence scores, shape ``(n_train, n_test)``.
+
+        Positive scores mark proponents (training examples that push
+        the model toward its behavior on the test example), negative
+        scores opponents.
+        """
+
+    @abc.abstractmethod
+    def self_influence(self, train_examples: Sequence[TokenExample]) -> np.ndarray:
+        """Influence of each training example on itself, shape ``(n_train,)``.
+
+        High self-influence flags memorized / outlier samples.
+        """
+
+    @abc.abstractmethod
+    def token_influence(
+        self,
+        train_examples: Sequence[TokenExample],
+        test_example: TokenExample,
+    ) -> TokenInfluence:
+        """Per-token decomposition of ``influence(train, [test_example])``."""
+
+    def k_most_influential(
+        self,
+        train_examples: Sequence[TokenExample],
+        test_examples: Sequence[TokenExample],
+        k: int = 5,
+        proponents: bool = True,
+    ) -> KMostInfluential:
+        """Top-``k`` influential training examples per test example.
+
+        ``proponents=True`` returns the highest-influence examples in
+        descending order; ``proponents=False`` the lowest (opponents)
+        in ascending order — the examples that most *oppose* the
+        model's behavior on the test example.
+        """
+        if k <= 0 or k > len(train_examples):
+            raise InfluenceError(
+                f"k={k} out of range for {len(train_examples)} train examples"
+            )
+        matrix = self.influence(train_examples, test_examples)
+        pick = top_k_indices if proponents else bottom_k_indices
+        indices = np.stack([pick(matrix[:, j], k) for j in range(matrix.shape[1])])
+        scores = np.take_along_axis(matrix.T, indices, axis=1)
+        return KMostInfluential(indices=indices, scores=scores)
+
+    # -- deprecated call shapes ----------------------------------------
+
+    def influence_matrix(
+        self,
+        train_examples: Sequence[TokenExample],
+        test_examples: Sequence[TokenExample],
+    ) -> np.ndarray:
+        """Deprecated alias of :meth:`influence` (pre-interface name)."""
+        warn_deprecated_once(
+            "influence_matrix() is deprecated; use influence(train, test)",
+            stacklevel=2,
+        )
+        return self.influence(train_examples, test_examples)
+
+    def scores(
+        self,
+        train_examples: Sequence[TokenExample],
+        test_examples: Sequence[TokenExample],
+    ) -> np.ndarray:
+        """Deprecated: per-train influence summed over the test set."""
+        warn_deprecated_once(
+            "scores() is deprecated; use influence(train, test).sum(axis=1)",
+            stacklevel=2,
+        )
+        return self.influence(train_examples, test_examples).sum(axis=1)

@@ -230,6 +230,37 @@ class ParallelInfluenceEngine:
                 self._checkpoint_rows(record, missing)
         self.store.flush()
 
+    def stacked_rows(
+        self,
+        examples: Sequence[TokenExample],
+        record: CheckpointRecord | None = None,
+        span_name: str = "influence.rows",
+    ) -> np.ndarray:
+        """Raw (unnormalized) gradient rows for ``examples`` at one checkpoint.
+
+        Defaults to the *last* checkpoint — the final model, which is
+        the only checkpoint single-model estimators like DataInf look
+        at.  Rows come from the store when present; misses are computed
+        (fanned out across workers when configured) and cached, so any
+        estimator sharing this store reuses them.  The model's
+        parameters are saved and restored around the computation.
+        """
+        if not examples:
+            raise InfluenceError("stacked_rows() needs a non-empty example list")
+        if record is None:
+            record = self.checkpoints[-1]
+        hashes = self._hashes(examples)
+        unique = self._unique(list(examples), hashes)
+        saved = self.model.state_dict()
+        try:
+            with self.obs.span(span_name, n_examples=len(examples), step=record.step):
+                self._prefetch(unique)
+                rows = self._checkpoint_rows(record, unique)
+            return np.stack([rows[example_hash] for example_hash in hashes])
+        finally:
+            self.model.load_state_dict(saved)
+            self.store.flush()
+
     def _stack(self, rows: dict[str, np.ndarray], hashes: Sequence[str]) -> np.ndarray:
         matrix = np.stack([rows[example_hash] for example_hash in hashes])
         if self.normalize:

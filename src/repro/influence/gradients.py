@@ -28,6 +28,65 @@ def trainable_parameters(model: Module) -> list[Parameter]:
     return params
 
 
+def trainable_parameter_slices(model: Module) -> list[tuple[str, slice]]:
+    """``(name, slice)`` per trainable parameter into the flat gradient.
+
+    The slices partition the vectors produced by :func:`flatten_grads`
+    (same stable name order), giving estimators that reason per layer —
+    DataInf's per-layer Hessian adjustment — the block structure of the
+    flattened gradient.  With LoRA applied, each ``lora_a`` / ``lora_b``
+    factor is its own block, exactly the granularity the DataInf paper
+    computes its closed form at.
+    """
+    named = [(n, p) for n, p in sorted(model.named_parameters()) if p.requires_grad]
+    if not named:
+        raise InfluenceError("model has no trainable parameters to trace")
+    slices = []
+    offset = 0
+    for name, param in named:
+        slices.append((name, slice(offset, offset + param.size)))
+        offset += param.size
+    return slices
+
+
+IGNORE_INDEX = -100
+
+
+def per_token_examples(
+    example: TokenExample,
+) -> tuple[list[TokenExample], tuple[int, ...]]:
+    """Single-supervised-position variants of one token example.
+
+    Returns ``(variants, positions)``: for each supervised label
+    position ``t`` (label not ``-100``; position 0 can never be
+    supervised because labels are next-token shifted), a copy of the
+    example with every *other* label masked to ``-100``.  The loss of
+    variant ``t`` is exactly the token-level loss ``l_t``, so — the
+    full loss being the mean over supervised positions — the variants'
+    gradients divided by ``len(positions)`` sum to the example's
+    gradient.  That identity is what makes token-wise influence an
+    exact decomposition of the sequence-level score.
+
+    Variants are ordinary :data:`TokenExample` values, so their
+    gradient rows are content-addressed and cached in the
+    :class:`~repro.influence.store.GradientStore` like any other row.
+    """
+    input_ids, labels = example
+    input_ids = list(input_ids)
+    labels = list(labels)
+    positions = tuple(
+        t for t in range(1, len(labels)) if labels[t] != IGNORE_INDEX
+    )
+    if not positions:
+        raise InfluenceError("example has no supervised label positions to attribute")
+    variants = []
+    for position in positions:
+        masked = [IGNORE_INDEX] * len(labels)
+        masked[position] = labels[position]
+        variants.append((list(input_ids), masked))
+    return variants, positions
+
+
 def flatten_grads(params: Sequence[Parameter]) -> np.ndarray:
     """Concatenate parameter gradients into one float64 vector.
 

@@ -25,14 +25,19 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import InfluenceError
+from repro.influence.api import DataInfluence, TokenInfluence
 from repro.influence.engine import ParallelInfluenceEngine
-from repro.influence.gradients import GradientProjector, TokenExample
+from repro.influence.gradients import (
+    GradientProjector,
+    TokenExample,
+    per_token_examples,
+)
 from repro.influence.store import GradientStore
 from repro.obs import Observability, get_observability
 from repro.training.checkpoint import CheckpointRecord
 
 
-class TracInCP:
+class TracInCP(DataInfluence):
     """Replay checkpoints and accumulate gradient dot products.
 
     Parameters
@@ -62,6 +67,8 @@ class TracInCP:
         up in traces and metrics, alongside ``influence.store.*`` cache
         hit/miss/byte counts.
     """
+
+    estimator_name = "tracin"
 
     def __init__(
         self,
@@ -113,7 +120,7 @@ class TracInCP:
             dtype=np.float64,
         )
 
-    def influence_matrix(
+    def influence(
         self,
         train_examples: Sequence[TokenExample],
         test_examples: Sequence[TokenExample],
@@ -121,13 +128,27 @@ class TracInCP:
         """Pairwise influence, shape ``(n_train, n_test)``."""
         return self.engine.influence_matrix(train_examples, test_examples, self._weights())
 
-    def scores(
+    def token_influence(
         self,
         train_examples: Sequence[TokenExample],
-        test_examples: Sequence[TokenExample],
-    ) -> np.ndarray:
-        """Influence of each training sample, summed over the test set."""
-        return self.influence_matrix(train_examples, test_examples).sum(axis=1)
+        test_example: TokenExample,
+    ) -> TokenInfluence:
+        """Per-token decomposition of the test example's influence column.
+
+        Each supervised position of the test example becomes a
+        single-position variant (its gradient is an ordinary cached
+        row), and the sequence loss being the mean over supervised
+        positions, the variant columns divided by their count sum to
+        exactly ``influence(train, [test_example])[:, 0]`` — with raw
+        (unnormalized) gradients.  Under ``normalize=True`` the cosine
+        rescaling is per-row and nonlinear, so token scores remain a
+        ranking signal but no longer a strict decomposition.
+        """
+        variants, positions = per_token_examples(test_example)
+        matrix = self.engine.influence_matrix(
+            train_examples, variants, self._weights(), span_name="influence.tokens"
+        )
+        return TokenInfluence(positions=positions, scores=matrix / len(positions))
 
     def checkpoint_products(
         self,

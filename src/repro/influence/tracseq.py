@@ -28,6 +28,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import InfluenceError
+from repro.influence.api import warn_deprecated_once
 from repro.influence.gradients import GradientProjector, TokenExample
 from repro.influence.tracin import TracInCP
 from repro.obs import Observability
@@ -36,6 +37,8 @@ from repro.training.checkpoint import CheckpointRecord
 
 class TracSeq(TracInCP):
     """Time-decayed checkpoint influence estimation."""
+
+    estimator_name = "tracseq"
 
     def __init__(
         self,
@@ -80,6 +83,26 @@ class TracSeq(TracInCP):
         decay = self.gamma ** (self.horizon - self.checkpoint_times[index])
         return decay * record.lr
 
+    def sample_decay(
+        self,
+        sample_times: Sequence[float],
+        test_time: float | None = None,
+    ) -> np.ndarray:
+        """Per-sample age-decay weights ``gamma ** (test_time - t_j)``.
+
+        ``test_time`` defaults to the newest sample time.  Multiply an
+        ``influence()`` aggregate by these weights to implement the
+        paper's remark that recent training samples receive higher
+        weight.  Validates in microseconds — before any gradient work a
+        caller might chain after it.
+        """
+        times = np.asarray(sample_times, dtype=np.float64)
+        horizon = float(test_time) if test_time is not None else float(times.max())
+        ages = horizon - times
+        if (ages < 0).any():
+            raise InfluenceError("sample_times contains timestamps after test_time")
+        return self.gamma**ages
+
     def scores(
         self,
         train_examples: Sequence[TokenExample],
@@ -87,36 +110,38 @@ class TracSeq(TracInCP):
         sample_times: Sequence[float] | None = None,
         test_time: float | None = None,
     ) -> np.ndarray:
-        """Per-training-sample influence with optional sample-age decay.
+        """Deprecated: per-training-sample influence with sample-age decay.
 
-        ``sample_times[j]`` is the timestamp of training sample ``j``;
-        ``test_time`` defaults to the newest sample time.  Each row of
-        the influence matrix is multiplied by
-        ``gamma ** (test_time - sample_times[j])``.
+        Use ``influence(train, test).sum(axis=1)``, optionally
+        multiplied by :meth:`sample_decay`, instead.  ``sample_times[j]``
+        is the timestamp of training sample ``j``; ``test_time``
+        defaults to the newest sample time.
 
         Arguments are validated *before* any gradient work: a bad
         ``sample_times`` must fail in microseconds, not after hours of
         checkpoint replay.
         """
-        ages = None
+        warn_deprecated_once(
+            "TracSeq.scores() is deprecated; use influence(train, test).sum(axis=1)"
+            " (optionally * sample_decay(sample_times, test_time))",
+            stacklevel=2,
+        )
+        decay = None
         if sample_times is not None:
             times = np.asarray(sample_times, dtype=np.float64)
             if times.shape[0] != len(train_examples):
                 raise InfluenceError(
                     f"{times.shape[0]} sample_times for {len(train_examples)} train examples"
                 )
-            horizon = float(test_time) if test_time is not None else float(times.max())
-            ages = horizon - times
-            if (ages < 0).any():
-                raise InfluenceError("sample_times contains timestamps after test_time")
+            decay = self.sample_decay(times, test_time)
         with self.obs.span(
             "influence.tracseq.scores",
             n_train=len(train_examples),
             n_test=len(test_examples),
             gamma=self.gamma,
-            sample_decay=ages is not None,
+            sample_decay=decay is not None,
         ):
-            base = self.influence_matrix(train_examples, test_examples).sum(axis=1)
-            if ages is None:
+            base = self.influence(train_examples, test_examples).sum(axis=1)
+            if decay is None:
                 return base
-            return base * (self.gamma**ages)
+            return base * decay

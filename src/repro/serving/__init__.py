@@ -5,6 +5,7 @@ from repro.serving.behavior_card import (
     BehaviorCardConfig,
     BehaviorCardDecision,
     BehaviorCardService,
+    ExplainAuditEntry,
     ServiceStats,
     reset_deprecation_warnings,
 )
@@ -16,7 +17,17 @@ from repro.serving.engine import (
     ScoreRequest,
     ScoreResult,
 )
-from repro.serving.explain import ReasonCode, adverse_action_reasons, reason_codes
+from repro.serving.explain import (
+    ExplainConfig,
+    ExplainRequest,
+    ExplainResult,
+    ExplainService,
+    InfluentialExample,
+    ReasonCode,
+    TokenAttribution,
+    adverse_action_reasons,
+    reason_codes,
+)
 from repro.serving.scorecard import ScorecardScaler
 from repro.serving.monitoring import (
     PSI_DRIFT,
@@ -49,5 +60,12 @@ __all__ = [
     "ReasonCode",
     "reason_codes",
     "adverse_action_reasons",
+    "ExplainService",
+    "ExplainConfig",
+    "ExplainRequest",
+    "ExplainResult",
+    "ExplainAuditEntry",
+    "InfluentialExample",
+    "TokenAttribution",
     "reset_deprecation_warnings",
 ]

@@ -135,6 +135,26 @@ class AuditEntry:
     degraded: bool = False
 
 
+@dataclass(frozen=True)
+class ExplainAuditEntry:
+    """Immutable audit record of one influence-explanation query.
+
+    Explanation queries disclose which training data shaped a decision;
+    model governance wants them as auditable as the decisions
+    themselves, so they land in the same append-only log (interleaved
+    with :class:`AuditEntry` decision records, in arrival order).
+    """
+
+    timestamp: float
+    user_id: str
+    estimator: str  # which DataInfluence backend answered
+    k: int
+    proponents: bool
+    approved: bool  # the decision being explained
+    top_indices: tuple[int, ...]  # train-set indices returned
+    top_scores: tuple[float, ...]
+
+
 @dataclass
 class ServiceStats:
     requests: int = 0
@@ -222,7 +242,7 @@ class BehaviorCardService:
         self._clock = clock
         self._fallback = fallback_scorer
         self._cache: OrderedDict[str, float] = OrderedDict()
-        self._audit: list[AuditEntry] = []
+        self._audit: list[AuditEntry | ExplainAuditEntry] = []
         self.stats = ServiceStats()
         self.obs = obs or get_observability()
         metrics = self.obs.metrics
@@ -417,6 +437,15 @@ class BehaviorCardService:
             for r in self.score_requests(score_requests)
         ]
 
-    def audit_log(self) -> list[AuditEntry]:
-        """A copy of the append-only audit log."""
+    def record_explanation(self, entry: ExplainAuditEntry) -> None:
+        """Append one influence-explanation query to the audit log.
+
+        Called by :class:`~repro.serving.explain.ExplainService` for
+        every query it serves; the entry sits next to the
+        :class:`AuditEntry` of the decision it explains.
+        """
+        self._audit.append(entry)
+
+    def audit_log(self) -> list[AuditEntry | ExplainAuditEntry]:
+        """A copy of the append-only audit log (decisions + explanations)."""
         return list(self._audit)

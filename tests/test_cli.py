@@ -114,3 +114,82 @@ class TestPipelineCommand:
         code = main(["pipeline", "--dataset", "german", "--n", "80", "--workers", "-2"])
         assert code == 1
         assert "workers" in capsys.readouterr().err
+
+
+class TestInfluenceCommand:
+    @pytest.fixture
+    def data_path(self, tmp_path):
+        out = tmp_path / "inf.jsonl"
+        assert main(["generate", "--dataset", "german", "--n", "30", "--out", str(out)]) == 0
+        return out
+
+    def test_ranks_influential_examples(self, data_path, tmp_path, capsys):
+        code = main([
+            "influence", "--data", str(data_path), "--estimator", "datainf",
+            "--top-k", "2", "--epochs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Influence (datainf" in out
+        assert "top-2 proponents" in out
+
+    def test_tokens_flag_prints_attribution(self, data_path, tmp_path, capsys):
+        code = main([
+            "influence", "--data", str(data_path), "--estimator", "tracin",
+            "--top-k", "2", "--epochs", "2", "--tokens",
+            "--checkpoint-dir", str(tmp_path / "ckpts"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Token-wise attribution" in out
+
+    def test_checkpoint_dir_reused_across_runs(self, data_path, tmp_path, capsys):
+        ckpts = tmp_path / "ckpts"
+        args = [
+            "influence", "--data", str(data_path), "--estimator", "datainf",
+            "--top-k", "2", "--epochs", "2", "--checkpoint-dir", str(ckpts),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0  # second run reuses the checkpoints
+        second = capsys.readouterr().out
+        assert first.splitlines()[-1] == second.splitlines()[-1]
+
+    def test_estimator_flag_reaches_pruner_config(self, tmp_path, monkeypatch):
+        """pipeline --estimator threads through PrunerConfig.strategy."""
+        import repro.cli as cli_mod
+
+        captured = {}
+
+        class FakePipeline:
+            def __init__(self, config):
+                captured["pruner"] = config.pruner
+                raise SystemExit(0)
+
+        monkeypatch.setattr(cli_mod, "ZiGongPipeline", FakePipeline)
+        with pytest.raises(SystemExit):
+            main(["pipeline", "--dataset", "german", "--n", "80",
+                  "--estimator", "datainf"])
+        assert captured["pruner"].strategy == "datainf"
+
+    def test_strategy_flag_still_works_but_warns(self, tmp_path, monkeypatch):
+        import warnings
+
+        import repro.cli as cli_mod
+
+        captured = {}
+
+        class FakePipeline:
+            def __init__(self, config):
+                captured["pruner"] = config.pruner
+                raise SystemExit(0)
+
+        monkeypatch.setattr(cli_mod, "ZiGongPipeline", FakePipeline)
+        with pytest.raises(SystemExit):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                main(["pipeline", "--dataset", "german", "--n", "80",
+                      "--strategy", "agent"])
+        assert captured["pruner"].strategy == "agent"
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)

@@ -1,0 +1,177 @@
+"""Influence-as-a-service tests: the served explain round trip.
+
+Pins the ISSUE-6 serving acceptance point: an online "why was this
+applicant declined" query returns the top-k influential training
+examples plus per-token scores, runs through the micro-batching engine
+(so results carry latency / batch metadata like any score), emits the
+``explain.*`` counters and ``serving.explain*`` spans, and lands in the
+Behavior Card audit log as an :class:`ExplainAuditEntry` next to the
+decision it explains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import test_config as make_test_config
+from repro.core import ZiGong
+from repro.data import build_classification_examples
+from repro.datasets import make_german
+from repro.errors import ServingError
+from repro.obs import Observability
+from repro.serving import (
+    AuditEntry,
+    BehaviorCardService,
+    ExplainAuditEntry,
+    ExplainConfig,
+    ExplainRequest,
+    ExplainResult,
+    ExplainService,
+)
+from repro.training.checkpoint import CheckpointManager
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """A fine-tuned ZiGong with checkpoints and an explain service."""
+    examples = build_classification_examples(make_german(n=60))[:14]
+    zigong = ZiGong.from_examples(examples, config=make_test_config())
+    checkpoint_dir = tmp_path_factory.mktemp("explain-ckpts")
+    zigong.finetune(examples, checkpoint_dir=checkpoint_dir)
+    checkpoints = CheckpointManager(checkpoint_dir).checkpoints()
+    obs = Observability.create()
+    service = ExplainService.for_zigong(
+        zigong, examples, checkpoints, estimator="datainf", obs=obs
+    )
+    behavior_text = examples[0].prompt.split(" question:")[0]
+    return service, behavior_text, obs
+
+
+class TestExplainRoundTrip:
+    def test_returns_topk_and_token_scores(self, served):
+        service, text, _ = served
+        result = service.explain("applicant-1", text, k=3)
+        assert isinstance(result, ExplainResult)
+        assert result.estimator == "datainf"
+        assert len(result.influential) == 3
+        # Descending proponents, train-set indices in range, snippets attached.
+        scores = [e.score for e in result.influential]
+        assert scores == sorted(scores, reverse=True)
+        assert all(0 <= e.index < len(service.train_examples) for e in result.influential)
+        assert all(e.text for e in result.influential)
+        attribution = result.token_attribution
+        assert attribution is not None
+        assert len(attribution.scores) == len(attribution.positions)
+        assert len(attribution.tokens) == len(attribution.positions)
+        assert attribution.top_tokens(1)
+
+    def test_decision_fields_match_behavior_card(self, served):
+        service, text, _ = served
+        result = service.explain("applicant-2", text)
+        direct = service.behavior_card.decide("applicant-2b", text)
+        assert result.score == pytest.approx(direct.score)
+        assert result.approved == direct.approved
+        assert result.threshold == direct.threshold
+
+    def test_engine_metadata_attached(self, served):
+        """Explain traffic rides the MicroBatchEngine like score traffic."""
+        service, text, _ = served
+        results = service.explain_requests([
+            ExplainRequest(user_id="a", behavior_text=text, k=2),
+            ExplainRequest(user_id="b", behavior_text=text, k=2),
+        ])
+        assert [r.user_id for r in results] == ["a", "b"]
+        assert all(r.latency_s >= 0 for r in results)
+        assert all(r.batch_size >= 1 for r in results)
+
+    def test_opponents_direction(self, served):
+        service, text, _ = served
+        pro = service.explain("p", text, k=2, proponents=True)
+        con = service.explain("c", text, k=2, proponents=False)
+        assert pro.influential[0].score >= con.influential[0].score
+
+    def test_empty_text_rejected(self, served):
+        service, _, _ = served
+        with pytest.raises(ServingError):
+            service.explain("u", "   ")
+
+
+class TestExplainAudit:
+    def test_query_lands_in_behavior_card_audit_log(self, served):
+        service, text, _ = served
+        before = len(service.behavior_card.audit_log())
+        service.explain("audited-user", text, k=2)
+        log = service.behavior_card.audit_log()
+        # One decision entry + one explanation entry, in that order.
+        new = log[before:]
+        assert [type(e) for e in new] == [AuditEntry, ExplainAuditEntry]
+        explanation = new[-1]
+        assert explanation.user_id == "audited-user"
+        assert explanation.estimator == "datainf"
+        assert explanation.k == 2
+        assert explanation.proponents is True
+        assert len(explanation.top_indices) == 2
+        assert len(explanation.top_scores) == 2
+        assert explanation.approved == new[0].approved
+
+    def test_obs_counters_and_spans(self, served):
+        service, text, obs = served
+        before = obs.metrics.snapshot()["counters"].get("explain.requests", 0)
+        service.explain("obs-user", text)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["explain.requests"] == before + 1
+        assert counters["explain.token_attributions"] >= 1
+        names = set(obs.tracer.aggregates())
+        assert "serving.explain" in names
+        assert "serving.explain.query" in names
+
+
+class TestExplainConfig:
+    def test_validates_top_k(self):
+        with pytest.raises(ServingError):
+            ExplainConfig(top_k=0)
+
+    def test_token_attribution_can_be_disabled(self, served):
+        service, text, _ = served
+        quiet = ExplainService(
+            service.estimator,
+            service.train_examples,
+            service._encode,
+            service.behavior_card,
+            config=ExplainConfig(attribute_tokens=False),
+        )
+        result = quiet.explain("no-tokens", text, k=2)
+        assert result.token_attribution is None
+        assert len(result.influential) == 2
+
+    def test_requires_training_examples(self, served):
+        service, _, _ = served
+        with pytest.raises(ServingError):
+            ExplainService([], [], service._encode, service.behavior_card)
+
+
+class TestEstimatorSwap:
+    @pytest.mark.parametrize("backend", ["tracin", "tracseq"])
+    def test_other_estimators_serve_identically(self, served, backend):
+        """The service is written against DataInfluence, not DataInf:
+        reuse the tokenized corpus and gradient store, swap the backend."""
+        service, text, _ = served
+        from repro.influence import make_estimator
+
+        estimator = make_estimator(
+            backend,
+            service.estimator.model,
+            [service.estimator.checkpoint],
+            store=service.estimator.store,
+        )
+        alt = ExplainService(
+            estimator,
+            service.train_examples,
+            service._encode,
+            service.behavior_card,
+            config=ExplainConfig(top_k=2),
+        )
+        result = alt.explain("swap-user", text)
+        assert result.estimator == backend
+        assert len(result.influential) == 2
