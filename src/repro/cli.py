@@ -255,6 +255,92 @@ def cmd_influence(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import json
+    import time as _time
+
+    from repro.errors import QueueFullError
+    from repro.obs import Observability, get_observability
+    from repro.serving import (
+        ClusterConfig,
+        ClusterSupervisor,
+        ScoreRequest,
+        zigong_replica_factory,
+    )
+
+    if (args.requests is None) == (args.synthetic is None):
+        print("error: pass exactly one of --requests or --synthetic", file=sys.stderr)
+        return 2
+
+    zigong = ZiGong.load(args.model)
+    if args.requests is not None:
+        requests = []
+        with open(args.requests, encoding="utf-8") as handle:
+            for i, line in enumerate(handle):
+                if not line.strip():
+                    continue
+                record = json.loads(line)
+                text = record.get("behavior_text") or record.get("text") or record.get("prompt")
+                if not text:
+                    print(f"error: line {i + 1} has no behavior text", file=sys.stderr)
+                    return 2
+                requests.append(ScoreRequest(record.get("user_id", f"user-{i}"), text))
+    else:
+        from repro.datasets import make_behavior
+
+        dataset = make_behavior(n_users=max(1, (args.synthetic + 1) // 2), n_periods=2, seed=args.seed)
+        requests = [
+            ScoreRequest(f"user-{u:04d}-p{p}", dataset.row_text(u, p))
+            for u in range(dataset.n_users)
+            for p in range(dataset.n_periods)
+        ][: args.synthetic]
+
+    obs = Observability.create(events_path=args.events) if args.events else get_observability()
+    cluster = ClusterSupervisor(
+        zigong_replica_factory(zigong, threshold=args.threshold),
+        ClusterConfig(
+            replicas=args.replicas,
+            transport=args.transport,
+            max_batch_size=args.max_batch_size,
+            queue_capacity=max(64, args.max_batch_size * 4),
+        ),
+        obs=obs,
+    )
+    start = _time.perf_counter()
+    with cluster:
+        pendings = []
+        for request in requests:
+            while True:
+                try:
+                    pendings.append(cluster.submit(request))
+                    break
+                except QueueFullError:
+                    _time.sleep(0.002)  # backpressure: wait for queue room
+        results = [p.result(timeout=args.timeout) for p in pendings]
+    elapsed = _time.perf_counter() - start
+
+    rows = [
+        [r.user_id, f"{r.score:.4f}", "yes" if r.approved else "no", r.replica]
+        for r in results[: args.show]
+    ]
+    print(format_table(["User", "P(default)", "Approved", "Replica"], rows,
+                       title=f"repro serve: first {len(rows)} of {len(results)} decisions"))
+    per_replica = {r.id: 0 for r in cluster.replicas}
+    for r in results:
+        if r.replica is not None:
+            per_replica[r.replica] += 1
+    print(
+        f"\n{len(results)} requests on {args.replicas} {args.transport} replica(s) "
+        f"in {elapsed:.2f}s ({len(results) / elapsed:.1f} req/s); "
+        f"per-replica load {per_replica}; restarts {cluster.stats.restarts}"
+    )
+    if args.events:
+        obs.events.emit_metrics(obs.metrics)
+        obs.events.close()
+        print(f"events written to {args.events}; inspect with: repro obs report --events {args.events}")
+    return 0
+
+
 def cmd_obs_report(args) -> int:
     from repro.obs import read_events, render_report
 
@@ -356,6 +442,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--preset", choices=("test", "bench"), default="test")
     p.set_defaults(fn=cmd_influence)
+
+    p = sub.add_parser("serve", help="score requests on a replicated serving cluster")
+    p.add_argument("--model", required=True, help="saved model directory (repro train --out)")
+    p.add_argument("--replicas", type=int, default=2)
+    p.add_argument("--transport", choices=("thread", "fork"), default="thread")
+    p.add_argument("--requests", default=None, help="jsonl with user_id + behavior_text per line")
+    p.add_argument("--synthetic", type=int, default=None, help="score N synthetic behavior rows instead")
+    p.add_argument("--threshold", type=float, default=0.5)
+    p.add_argument("--max-batch-size", type=int, default=8)
+    p.add_argument("--timeout", type=float, default=60.0, help="per-request wait bound (seconds)")
+    p.add_argument("--show", type=int, default=10, help="decisions to print")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--events", default=None, help="record an obs run file (for `repro obs report`)")
+    p.set_defaults(fn=cmd_serve)
 
     sub.add_parser("table3", help="print the configuration table").set_defaults(fn=cmd_table3)
 

@@ -85,6 +85,21 @@ class DeadlineExceededError(ServingError):
     """A queued request's deadline passed before it could be scored."""
 
 
+class ClusterError(ServingError):
+    """Multi-replica serving cluster failure (supervisor / router / deploy)."""
+
+
+class ReplicaCrashedError(ClusterError):
+    """A replica died (process exit, RPC loss, or injected crash) mid-flight.
+
+    The supervisor treats this error as *re-dispatchable*: requests that
+    were queued or in flight on the dead replica are resubmitted to a
+    healthy one (up to ``ClusterConfig.max_redispatch`` attempts) before
+    the error is surfaced to the caller, so a replica crash never
+    silently drops traffic.
+    """
+
+
 class ServingTimeout(ServingError):
     """``PendingResult.result(timeout=...)`` gave up waiting.
 

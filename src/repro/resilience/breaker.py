@@ -182,6 +182,20 @@ class CircuitBreaker:
         self._opened_at = self._clock()
         self._transition(OPEN)
 
+    def reset(self) -> None:
+        """Force the breaker closed and forget the outcome window.
+
+        For supervisors that *replace* the failing dependency (e.g. the
+        serving cluster restarting a crashed replica): the old failure
+        history describes a process that no longer exists, so traffic
+        should return immediately instead of waiting out
+        ``reset_timeout_s`` and the half-open probe dance.
+        """
+        with self._lock:
+            self._outcomes.clear()
+            self._half_open_inflight = 0
+            self._transition(CLOSED)
+
     def call(self, fn: Callable[..., T], *args, **kwargs) -> T:
         """Run ``fn`` through the breaker; :class:`CircuitOpenError` if open."""
         if not self.allow():

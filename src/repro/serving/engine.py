@@ -96,6 +96,7 @@ class ScoreResult:
     degraded: bool = False  # scored by the fallback path
     latency_s: float = 0.0  # enqueue -> completion on the engine clock
     batch_size: int = 1  # size of the batch this request rode in
+    replica: int | None = None  # which cluster replica scored it (None: single engine)
 
 
 @dataclass(frozen=True)
@@ -172,25 +173,68 @@ class EngineStats:
 
 
 class PendingResult:
-    """A slot for one in-flight request (a minimal, thread-safe future)."""
+    """A slot for one in-flight request (a minimal, thread-safe future).
+
+    Finalization is **exactly-once**: a second ``_resolve``/``_reject``
+    raises :class:`ServingError` instead of silently overwriting the
+    first outcome.  The serving-tier property suite leans on this guard
+    — any scheduler interleaving that double-completes a request fails
+    loudly rather than corrupting a caller's result.
+    """
 
     def __init__(self, request: ScoreRequest):
         self.request = request
         self._event = threading.Event()
         self._result: ScoreResult | None = None
         self._error: BaseException | None = None
+        self._callbacks: list[Callable[["PendingResult"], None]] = []
+        self._finalize_lock = threading.Lock()
 
     @property
     def done(self) -> bool:
         return self._event.is_set()
 
+    @property
+    def error(self) -> BaseException | None:
+        """The stored failure, if this request completed with one."""
+        return self._error
+
+    def add_done_callback(self, fn: Callable[["PendingResult"], None]) -> None:
+        """Run ``fn(self)`` when the request finalizes (immediately if done).
+
+        Callbacks fire on the finalizing thread, after the result/error
+        is stored and waiters are released.  This is the engine hook the
+        cluster supervisor uses to propagate per-replica completions —
+        and to re-dispatch requests off a crashed replica.  Exceptions
+        raised by a callback propagate to the finalizer.
+        """
+        run_now = False
+        with self._finalize_lock:
+            if self.done:
+                run_now = True
+            else:
+                self._callbacks.append(fn)
+        if run_now:
+            fn(self)
+
+    def _finalize(self, result: ScoreResult | None, error: BaseException | None) -> None:
+        with self._finalize_lock:
+            if self.done:
+                raise ServingError(
+                    f"request for {self.request.user_id!r} finalized twice"
+                )
+            self._result = result
+            self._error = error
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
     def _resolve(self, result: ScoreResult) -> None:
-        self._result = result
-        self._event.set()
+        self._finalize(result, None)
 
     def _reject(self, error: BaseException) -> None:
-        self._error = error
-        self._event.set()
+        self._finalize(None, error)
 
     def result(self, timeout: float | None = None) -> ScoreResult:
         """Block until scored; re-raise the stored error if the request failed.
@@ -456,6 +500,25 @@ class MicroBatchEngine:
         self._m_failed.inc(len(batch))
         for pending, _ in batch:
             pending._reject(error)
+
+    def withdraw_all(self, error: BaseException) -> int:
+        """Empty the queue, rejecting every queued request with ``error``.
+
+        The cluster supervisor calls this when it declares a replica
+        dead: queued traffic is finalized with a
+        :class:`~repro.errors.ReplicaCrashedError` so done-callbacks can
+        re-dispatch it to a healthy replica instead of leaving it
+        stranded behind a corpse.  Returns the number withdrawn.
+        """
+        with self._lock:
+            withdrawn = list(self._queue)
+            self._queue.clear()
+            self._g_queue_depth.set(0)
+        self.stats.failed += len(withdrawn)
+        self._m_withdrawn.inc(len(withdrawn))
+        for pending, _ in withdrawn:
+            pending._reject(error)
+        return len(withdrawn)
 
     def pump(self) -> int:
         """Synchronously assemble and score one batch; returns its size."""

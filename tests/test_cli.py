@@ -193,3 +193,66 @@ class TestInfluenceCommand:
                       "--strategy", "agent"])
         assert captured["pruner"].strategy == "agent"
         assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+
+
+class TestServeCommand:
+    @pytest.fixture(scope="class")
+    def model_dir(self, tmp_path_factory):
+        import dataclasses
+
+        from repro.config import test_config
+        from repro.core import ZiGong
+        from repro.data import build_behavior_examples
+        from repro.datasets import make_behavior
+
+        examples = build_behavior_examples(make_behavior(n_users=16, n_periods=2, seed=0))
+        config = test_config()
+        config = dataclasses.replace(
+            config, training=dataclasses.replace(config.training, epochs=2)
+        )
+        zigong = ZiGong.from_examples(examples, config=config)
+        zigong.finetune(examples[:24])
+        model_dir = tmp_path_factory.mktemp("serve-cli") / "model"
+        zigong.save(model_dir)
+        return model_dir
+
+    def test_synthetic_traffic_on_cluster(self, model_dir, tmp_path, capsys):
+        events = tmp_path / "run.jsonl"
+        code = main([
+            "serve", "--model", str(model_dir), "--replicas", "2",
+            "--synthetic", "8", "--events", str(events),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "of 8 decisions" in out
+        assert "2 thread replica(s)" in out
+        assert events.exists()
+        # The recorded run renders with the cluster counters visible.
+        assert main(["obs", "report", "--events", str(events)]) == 0
+        report = capsys.readouterr().out
+        assert "cluster.submitted" in report
+        assert "cluster.completed" in report
+
+    def test_requests_jsonl_input(self, model_dir, tmp_path, capsys):
+        import json
+
+        requests_file = tmp_path / "requests.jsonl"
+        rows = [
+            {"user_id": "alice", "behavior_text": "spend high utilization rising"},
+            {"user_id": "bob", "text": "payments on time balance low"},
+        ]
+        requests_file.write_text("\n".join(json.dumps(r) for r in rows) + "\n")
+        code = main([
+            "serve", "--model", str(model_dir), "--replicas", "1",
+            "--requests", str(requests_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alice" in out and "bob" in out
+
+    def test_requires_exactly_one_source(self, model_dir, capsys):
+        assert main(["serve", "--model", str(model_dir)]) == 2
+        assert main([
+            "serve", "--model", str(model_dir), "--synthetic", "4",
+            "--requests", "x.jsonl",
+        ]) == 2

@@ -44,22 +44,22 @@ class TestFinetune:
         history = zigong.finetune(german_examples[:48])
         assert history.losses[-1] < history.losses[0]
 
-    def test_lora_applied_once(self, german_examples):
-        zigong = ZiGong.from_examples(german_examples[:32])
+    def test_lora_applied_once(self, make_zigong):
+        zigong = make_zigong()
         zigong.apply_lora()
         zigong.apply_lora()  # idempotent
         adapters = zigong.lora_modules
         assert len(adapters) == zigong.config.model.n_layers * 3
         assert all(isinstance(a, LoRALinear) for a in adapters)
 
-    def test_full_finetune_without_lora(self, german_examples):
-        zigong = ZiGong.from_examples(german_examples[:32])
+    def test_full_finetune_without_lora(self, make_zigong, german_examples):
+        zigong = make_zigong()
         history = zigong.finetune(german_examples[:32], use_lora=False)
         assert not zigong.lora_modules
         assert history.losses
 
-    def test_checkpoints_written(self, german_examples, tmp_path):
-        zigong = ZiGong.from_examples(german_examples[:32])
+    def test_checkpoints_written(self, make_zigong, german_examples, tmp_path):
+        zigong = make_zigong()
         zigong.finetune(german_examples[:32], checkpoint_dir=tmp_path)
         from repro.training import CheckpointManager
 
@@ -90,13 +90,13 @@ class TestClassifier:
         pred = clf.predict(sample)
         assert pred.score is not None
 
-    def test_memoized_classifier_fresh_after_finetune(self, german_examples):
+    def test_memoized_classifier_fresh_after_finetune(self, make_zigong, german_examples):
         # Regression for the measure_forgetting staleness bug: the
         # memoized classifier's prefix cache must flush when a finetune
         # changes the weights, not replay pre-finetune KV/logits.
         from repro.baselines.lm import LMClassifier
 
-        zigong = ZiGong.from_examples(german_examples[:32])
+        zigong = make_zigong()
         prompt = german_examples[0].prompt
         zigong.generate_answer(prompt)  # warm the memoized prefix cache
         zigong.finetune(german_examples[:32])
@@ -104,8 +104,8 @@ class TestClassifier:
         assert zigong.generate_answer(prompt) == uncached.generate_answer(prompt)
         assert zigong.classifier().prefix_cache.stats.invalidations == 1
 
-    def test_merge_adapters_preserves_scores(self, german_examples):
-        zigong = ZiGong.from_examples(german_examples[:32])
+    def test_merge_adapters_preserves_scores(self, make_zigong, german_examples):
+        zigong = make_zigong()
         zigong.finetune(german_examples[:32])
         prompt = german_examples[0].prompt
         before = zigong.classifier().score(prompt, "good", "bad")

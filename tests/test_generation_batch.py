@@ -18,12 +18,8 @@ from repro.nn.cache import KVCache, LayerKVCache, PrefixCache
 from repro.nn.generation import GenerationConfig, generate, generate_batch
 
 
-RAGGED_LENGTHS = (5, 9, 3, 12, 7, 9)
-
-
-def _prompts(vocab_size: int, lengths=RAGGED_LENGTHS, seed: int = 0):
-    rng = np.random.default_rng(seed)
-    return [rng.integers(5, vocab_size, size=n).astype(np.int64) for n in lengths]
+from conftest import RAGGED_LENGTHS
+from conftest import ragged_prompts as _prompts
 
 
 def _assert_rows_equal(batch, sequential):

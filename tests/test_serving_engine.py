@@ -19,47 +19,9 @@ from repro.serving import (
 )
 
 
-class _StubClassifier:
-    """Deterministic scorer: P(default) derived from the prompt length."""
-
-    def __init__(self, fail: bool = False):
-        self.calls = 0
-        self.batch_calls = 0
-        self.fail = fail
-
-    def _score(self, prompt):
-        return (len(prompt) % 10) / 10.0 + 0.05
-
-    def score(self, prompt, positive, negative):
-        if self.fail:
-            raise RuntimeError("model path down")
-        self.calls += 1
-        return self._score(prompt)
-
-    def score_batch(self, prompts, positive, negative):
-        if self.fail:
-            raise RuntimeError("model path down")
-        self.batch_calls += 1
-        self.calls += len(prompts)
-        return np.array([self._score(p) for p in prompts])
-
-
-class _Clock:
-    def __init__(self, now: float = 1000.0):
-        self.now = now
-
-    def __call__(self):
-        self.now += 1.0
-        return self.now
-
-
-def make_service(**kwargs):
-    defaults = dict(
-        config=BehaviorCardConfig(cache_size=32, max_batch_size=4, queue_capacity=8),
-        clock=_Clock(),
-    )
-    defaults.update(kwargs)
-    return BehaviorCardService(_StubClassifier(), **defaults)
+from conftest import StubClassifier as _StubClassifier
+from conftest import StepClock as _Clock
+from conftest import make_stub_service as make_service
 
 
 class TestConfigAPI:

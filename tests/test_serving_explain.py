@@ -14,10 +14,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.config import test_config as make_test_config
-from repro.core import ZiGong
-from repro.data import build_classification_examples
-from repro.datasets import make_german
 from repro.errors import ServingError
 from repro.obs import Observability
 from repro.serving import (
@@ -29,17 +25,12 @@ from repro.serving import (
     ExplainResult,
     ExplainService,
 )
-from repro.training.checkpoint import CheckpointManager
 
 
 @pytest.fixture(scope="module")
-def served(tmp_path_factory):
-    """A fine-tuned ZiGong with checkpoints and an explain service."""
-    examples = build_classification_examples(make_german(n=60))[:14]
-    zigong = ZiGong.from_examples(examples, config=make_test_config())
-    checkpoint_dir = tmp_path_factory.mktemp("explain-ckpts")
-    zigong.finetune(examples, checkpoint_dir=checkpoint_dir)
-    checkpoints = CheckpointManager(checkpoint_dir).checkpoints()
+def served(explained_zigong):
+    """An explain service over the shared fine-tuned-with-checkpoints model."""
+    zigong, examples, checkpoints = explained_zigong
     obs = Observability.create()
     service = ExplainService.for_zigong(
         zigong, examples, checkpoints, estimator="datainf", obs=obs
