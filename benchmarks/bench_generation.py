@@ -14,6 +14,10 @@ CALM-style generative eval (the paper's Table-2 read-out is literally
   O(T^2) copying of the naive scheme dominates;
 * prefix-cache effect: repeat-prompt eval with hit/saved-token counters
   rendered from the obs registry into the results file.
+* continuous-batching saturation: a bimodal (short/long) burst of
+  requests decoded by the iteration-level scheduler vs FIFO waves
+  through ``generate_batch`` — asserts the ISSUE-8 acceptance claim of
+  a >= 1.5x wall-clock win with bit-identical outputs.
 
 Run directly for a quick CI smoke: ``python bench_generation.py --smoke``.
 """
@@ -225,16 +229,165 @@ def test_batched_generation_speedup():
     save_result("generation", run_generation_benchmark())
 
 
-def smoke(n_eval: int = 16, ring_steps: int = 128) -> None:
+SAT_POOL = 96
+SAT_REQUESTS = 32
+SAT_CAP = 8
+
+
+def _saturation_workload(model, config, pool_size: int, n_requests: int):
+    """A deterministic bimodal request mix plus its expected outputs.
+
+    Greedy decoding with a large stop set gives genuinely ragged
+    generation lengths (sampling would not: every row shares the same
+    per-row RNG stream, so sampled lengths cluster).  A sequential
+    ``generate`` pass over a prompt pool both measures each prompt's
+    natural length and doubles as the parity reference; the workload
+    then interleaves short requests (<= 8 tokens) with long stragglers
+    (>= 32 tokens) so every FIFO wave of ``SAT_CAP`` is pinned by a
+    couple of slow rows while the continuous scheduler backfills the
+    retired slots.
+    """
+    from repro.nn.generation import generate
+
+    rng = np.random.default_rng(0)
+    pool = [
+        rng.integers(64, model.config.vocab_size, size=int(rng.integers(4, 13)))
+        for _ in range(pool_size)
+    ]
+    reference = [generate(model, p, config) for p in pool]
+    lengths = [len(out) for out in reference]
+    shorts = [i for i, n in enumerate(lengths) if n <= 8]
+    longs = [i for i, n in enumerate(lengths) if n >= 32]
+    assert shorts and longs, "pool produced no short/long split; retune the stop set"
+
+    selected: list[int] = []
+    li = si = 0
+    max_longs = min(n_requests // 4, len(longs))
+    for k in range(n_requests):
+        if k % 4 == 3 and li < max_longs:
+            selected.append(longs[li])
+            li += 1
+        else:
+            selected.append(shorts[si % len(shorts)])
+            si += 1
+    prompts = [pool[i] for i in selected]
+    expected = [list(reference[i]) for i in selected]
+    return prompts, expected, lengths
+
+
+def _wave_baseline(model, prompts, config, cap: int) -> list[list[int]]:
+    """FIFO admission in waves of ``cap``: the pre-scheduler serving path."""
+    from repro.nn.generation import generate_batch
+
+    out: list[list[int]] = []
+    for i in range(0, len(prompts), cap):
+        out.extend(list(row) for row in generate_batch(model, prompts[i : i + cap], config))
+    return out
+
+
+def run_saturation_benchmark(
+    n_requests: int = SAT_REQUESTS,
+    pool_size: int = SAT_POOL,
+    cap: int = SAT_CAP,
+    trials: int = 3,
+    min_speedup: float = 1.5,
+) -> str:
+    """Continuous batching vs wave-batched FIFO on a bimodal burst."""
+    from repro.nn import AdmissionPolicy, generate_continuous
+    from repro.nn.generation import GenerationConfig
+    from repro.nn.transformer import MistralTiny, ModelConfig
+
+    model = MistralTiny(
+        ModelConfig(
+            vocab_size=128, d_model=64, n_layers=2, n_heads=4, n_kv_heads=2,
+            d_ff=128, max_seq_len=64, sliding_window=32,
+        ),
+        rng=0,
+    )
+    # Tokens below 64 terminate a row, so greedy decodes stop at
+    # prompt-dependent ragged lengths instead of all running to the cap.
+    config = GenerationConfig(max_new_tokens=48, stop_tokens=tuple(range(64)))
+    prompts, expected, pool_lengths = _saturation_workload(
+        model, config, pool_size, n_requests
+    )
+    policy = AdmissionPolicy(max_live_rows=cap, max_prefills_per_step=max(1, cap // 2))
+
+    obs = Observability.create()
+    base_times, cont_times = [], []
+    for _ in range(trials):
+        start = time.perf_counter()
+        base_out = _wave_baseline(model, prompts, config, cap)
+        base_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        cont_out = generate_continuous(model, prompts, config, policy=policy, obs=obs)
+        cont_times.append(time.perf_counter() - start)
+    assert base_out == expected, "wave baseline diverged from sequential generate"
+    assert cont_out == expected, "continuous decode diverged from sequential generate"
+
+    # Trickle arm: Poisson inter-arrival gaps in decode-step units.
+    # The wave baseline has no decode-step clock to pace arrivals
+    # against, so this arm is parity-checked and reported rather than
+    # held to the speedup floor — trickle admission means many small
+    # prefill cohorts, the regime where backfilling buys the least.
+    gaps = np.random.default_rng(1).poisson(lam=2.0, size=n_requests)
+    arrivals = [int(step) for step in np.cumsum(gaps)]
+    start = time.perf_counter()
+    poisson_out = generate_continuous(
+        model, prompts, config, arrivals=arrivals, policy=policy, obs=obs
+    )
+    poisson_s = time.perf_counter() - start
+    assert poisson_out == expected, (
+        "Poisson-arrival decode diverged from sequential generate"
+    )
+
+    base_s, cont_s = min(base_times), min(cont_times)
+    speedup = base_s / cont_s
+    n_short = sum(len(out) <= 8 for out in expected)
+    n_long = sum(len(out) >= 32 for out in expected)
+    lines = [
+        f"continuous-batching saturation: {n_requests} requests "
+        f"({n_short} short / {n_long} long, burst arrival), "
+        f"max_live_rows={cap}, greedy, identical outputs",
+        f"pool: {pool_size} prompts, generation lengths "
+        f"{min(pool_lengths)}..{max(pool_lengths)} tokens",
+        "",
+        f"{'mode':>32}  {'time (s)':>9}  {'speedup':>8}",
+        f"{'FIFO waves (generate_batch)':>32}  {base_s:>9.3f}  {1.0:>8.2f}x",
+        f"{'continuous scheduler':>32}  {cont_s:>9.3f}  {speedup:>8.2f}x",
+        f"{'continuous, Poisson arrivals':>32}  {poisson_s:>9.3f}  "
+        f"{base_s / poisson_s:>8.2f}x",
+        "",
+        "observability counters (repro.obs registry):",
+        "",
+        render_registry(obs.metrics),
+    ]
+    text = "\n".join(lines)
+
+    assert speedup >= min_speedup, (
+        f"continuous batching only {speedup:.2f}x the wave baseline "
+        f"(need >= {min_speedup}x)"
+    )
+    return text
+
+
+def test_continuous_saturation_speedup():
+    save_result("generation_saturation", run_saturation_benchmark())
+
+
+def smoke(n_eval: int = 16, ring_steps: int = 512) -> None:
     """Small everything: exercises the full path in a few seconds.
 
     The speedup floor is relaxed to 2x at this batch size — the 3x
-    acceptance claim is asserted at the full N_EVAL batch.
+    acceptance claim is asserted at the full N_EVAL batch.  512 ring
+    steps (not fewer) so the concat baseline's O(T^2) copying dominates
+    timer noise; at 128 steps the ring-vs-concat assert was flaky.
     """
     text = run_generation_benchmark(
         n_eval=n_eval, ring_steps=ring_steps, min_speedup=2.0
     )
     print(text)
+    print()
+    print(run_saturation_benchmark(trials=2, min_speedup=1.2))
     print("\ngeneration smoke OK")
 
 
@@ -251,6 +404,7 @@ def main(argv=None) -> int:
         smoke()
     else:
         save_result("generation", run_generation_benchmark(args.n_eval, args.ring_steps))
+        save_result("generation_saturation", run_saturation_benchmark())
     return 0
 
 

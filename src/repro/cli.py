@@ -295,12 +295,16 @@ def cmd_serve(args) -> int:
             for p in range(dataset.n_periods)
         ][: args.synthetic]
 
+    if args.continuous and args.transport != "thread":
+        print("error: --continuous requires --transport thread", file=sys.stderr)
+        return 2
     obs = Observability.create(events_path=args.events) if args.events else get_observability()
     cluster = ClusterSupervisor(
         zigong_replica_factory(zigong, threshold=args.threshold),
         ClusterConfig(
             replicas=args.replicas,
             transport=args.transport,
+            engine_mode="continuous" if args.continuous else "microbatch",
             max_batch_size=args.max_batch_size,
             queue_capacity=max(64, args.max_batch_size * 4),
         ),
@@ -330,7 +334,8 @@ def cmd_serve(args) -> int:
         if r.replica is not None:
             per_replica[r.replica] += 1
     print(
-        f"\n{len(results)} requests on {args.replicas} {args.transport} replica(s) "
+        f"\n{len(results)} requests on {args.replicas} {args.transport} "
+        f"{'continuous' if args.continuous else 'micro-batch'} replica(s) "
         f"in {elapsed:.2f}s ({len(results) / elapsed:.1f} req/s); "
         f"per-replica load {per_replica}; restarts {cluster.stats.restarts}"
     )
@@ -447,6 +452,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", required=True, help="saved model directory (repro train --out)")
     p.add_argument("--replicas", type=int, default=2)
     p.add_argument("--transport", choices=("thread", "fork"), default="thread")
+    p.add_argument(
+        "--continuous",
+        action="store_true",
+        help="continuous-batching engines: generative decode with streaming "
+        "admission instead of per-tick micro-batches (thread transport only)",
+    )
     p.add_argument("--requests", default=None, help="jsonl with user_id + behavior_text per line")
     p.add_argument("--synthetic", type=int, default=None, help="score N synthetic behavior rows instead")
     p.add_argument("--threshold", type=float, default=0.5)

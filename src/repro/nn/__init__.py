@@ -9,7 +9,19 @@ from repro.nn.mlp import MLP, SwiGLU
 from repro.nn.transformer import MistralTiny, ModelConfig, TransformerBlock
 from repro.nn.classifier import SequenceClassifier, pad_sequences
 from repro.nn.flops import FlopsEstimate, count_parameters, estimate_flops
-from repro.nn.generation import GenerationConfig, generate, generate_batch, next_token_logits
+from repro.nn.generation import (
+    DecodeState,
+    GenerationConfig,
+    generate,
+    generate_batch,
+    next_token_logits,
+)
+from repro.nn.continuous import (
+    AdmissionPolicy,
+    ContinuousScheduler,
+    GenerationStream,
+    generate_continuous,
+)
 
 __all__ = [
     "Module",
@@ -37,9 +49,14 @@ __all__ = [
     "SequenceClassifier",
     "pad_sequences",
     "GenerationConfig",
+    "DecodeState",
     "generate",
     "generate_batch",
     "next_token_logits",
+    "AdmissionPolicy",
+    "ContinuousScheduler",
+    "GenerationStream",
+    "generate_continuous",
     "FlopsEstimate",
     "count_parameters",
     "estimate_flops",

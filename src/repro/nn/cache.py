@@ -271,6 +271,47 @@ class LayerKVCache:
         self._v = np.ascontiguousarray(self._v[indices][:, :, span])
         self._start = 0
 
+    def admit_rows(self, other: "LayerKVCache") -> None:
+        """Append another cache's batch rows to this one (ragged admit).
+
+        The continuous scheduler uses this to merge a freshly prefilled
+        batch into the live decode batch between steps.  Both caches
+        must be zero-offset stacked caches (the batched-decode
+        convention: per-row positions live in the caller's slot table)
+        with matching head count and head dim.  Retained spans are
+        padded with zeros to a common length; slots past a row's own
+        valid span must stay hidden by the caller's additive mask
+        (zero K/V keeps their scores finite, so the ``-1e9`` mask lanes
+        underflow to exactly 0 in softmax).
+        """
+        if self._k is None or other._k is None:
+            raise ShapeError("admit_rows() requires non-empty caches on both sides")
+        if self.offset != 0 or other.offset != 0:
+            raise ShapeError(
+                f"admit_rows() requires zero-offset stacked caches, "
+                f"got offsets {self.offset} and {other.offset}"
+            )
+        if self._k.shape[1] != other._k.shape[1] or self._k.shape[3] != other._k.shape[3]:
+            raise ShapeError(
+                f"admit_rows() head layout mismatch: {self._k.shape[1:2] + self._k.shape[3:]} "
+                f"vs {other._k.shape[1:2] + other._k.shape[3:]}"
+            )
+        t = max(self._len, other._len)
+        k_self, v_self = self.views()
+        k_other, v_other = other.views()
+        rows_self = k_self.shape[0]
+        batch = rows_self + k_other.shape[0]
+        cap = max(self.capacity, self._initial_capacity(t))
+        new_k = np.zeros((batch, self._k.shape[1], cap, self._k.shape[3]), dtype=self._k.dtype)
+        new_v = np.zeros_like(new_k)
+        new_k[:rows_self, :, : self._len] = k_self
+        new_v[:rows_self, :, : self._len] = v_self
+        new_k[rows_self:, :, : other._len] = k_other
+        new_v[rows_self:, :, : other._len] = v_other
+        self._k, self._v = new_k, new_v
+        self._start = 0
+        self._len = t
+
 
 class KVCache:
     """Per-layer cache bundle for a full model."""

@@ -1,0 +1,416 @@
+"""Continuous batching: admit new prefills into a running decode batch.
+
+:func:`~repro.nn.generation.generate_batch` amortizes decode across a
+*fixed* set of prompts: everything prefills together, and a request that
+arrives one step after the batch launched waits for the whole batch to
+finish (head-of-line blocking).  Production inference schedulers (vLLM,
+Orca-style iteration-level scheduling) instead run **one** decode loop
+forever and splice freshly prefilled rows into the live batch between
+steps, so the batch stays full under staggered arrivals.
+
+:class:`ContinuousScheduler` is that loop.  Each :meth:`~ContinuousScheduler.step`:
+
+1. **Admits** up to ``max_prefills_per_step`` waiting prompts (while the
+   batch has fewer than ``max_live_rows`` live rows): one padded prefill
+   forward for the cohort, first token sampled from the prefill logits,
+   then the new rows are merged into the live
+   :class:`~repro.nn.generation.DecodeState` via the ragged
+   ``LayerKVCache.admit_rows`` path.
+2. **Decodes** one token for every live row — the same masked batched
+   step as ``generate_batch`` — and **retires** rows at stop tokens or
+   ``max_new_tokens`` via ``DecodeState.select_rows``.
+
+Outputs are bit-identical to per-prompt :func:`~repro.nn.generation.generate`
+and to :func:`~repro.nn.generation.generate_batch` for *any* arrival
+interleaving: every row draws from its own ``default_rng(config.seed)``
+stream, padding slots are additively masked (``-1e9`` lanes underflow to
+exactly 0 in softmax), and per-row RoPE positions continue from each
+row's own prompt length — so batch composition never changes a row's
+logits.  The parity suite in ``tests/test_continuous.py`` pins this.
+
+Tokens stream out through :class:`GenerationStream` (per-token callback
+plus an exactly-once finalization guard); counters and gauges land in
+the ``generation.continuous.*`` series (see ``docs/generation.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError, ServingError
+from repro.tensor import no_grad
+from repro.tensor.random import default_rng
+from repro.nn.cache import PrefixCache
+from repro.nn.generation import (
+    GenerationConfig,
+    _check_budget,
+    _prefill_batch,
+    _sample_token,
+)
+from repro.nn.transformer import MistralTiny
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs governing how prefills interleave with the decode loop.
+
+    max_live_rows:
+        Ceiling on concurrently decoding rows.  Bounds the stacked KV
+        cache's batch dimension (memory) and the per-step forward cost.
+    max_prefills_per_step:
+        How many waiting prompts may be prefilled and admitted per
+        decode step — the prefill/decode interleave ratio.  Small values
+        keep per-step latency flat for rows already decoding; large
+        values fill an empty batch faster after a burst of arrivals.
+    """
+
+    max_live_rows: int = 8
+    max_prefills_per_step: int = 4
+
+    def __post_init__(self):
+        if self.max_live_rows <= 0:
+            raise ConfigError(f"max_live_rows must be positive, got {self.max_live_rows}")
+        if self.max_prefills_per_step <= 0:
+            raise ConfigError(
+                f"max_prefills_per_step must be positive, got {self.max_prefills_per_step}"
+            )
+
+
+class GenerationStream:
+    """Handle for one submitted prompt: tokens stream in as they decode.
+
+    ``on_token(stream, token_id)`` fires synchronously per generated
+    token (including the stop token, which — like ``generate`` — is part
+    of the output).  Finalization is **exactly-once**: a second
+    ``_finalize`` raises :class:`~repro.errors.ServingError` instead of
+    silently overwriting the first outcome, mirroring the serving tier's
+    ``PendingResult`` guard.
+    """
+
+    __slots__ = ("request_id", "_tokens", "_done", "_error", "_on_token")
+
+    def __init__(
+        self,
+        request_id: str,
+        on_token: Callable[["GenerationStream", int], None] | None = None,
+    ):
+        self.request_id = request_id
+        self._tokens: list[int] = []
+        self._done = False
+        self._error: BaseException | None = None
+        self._on_token = on_token
+
+    @property
+    def tokens(self) -> tuple[int, ...]:
+        """Tokens generated so far (a prefix of the final output)."""
+        return tuple(self._tokens)
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def error(self) -> BaseException | None:
+        return self._error
+
+    def result(self) -> list[int]:
+        """The final token list; raises if failed or still decoding."""
+        if not self._done:
+            raise ServingError(f"stream {self.request_id!r} is still decoding")
+        if self._error is not None:
+            raise self._error
+        return list(self._tokens)
+
+    def _emit(self, token_id: int) -> None:
+        if self._done:
+            raise ServingError(f"stream {self.request_id!r} emitted a token after finalization")
+        self._tokens.append(token_id)
+        if self._on_token is not None:
+            self._on_token(self, token_id)
+
+    def _finalize(self, error: BaseException | None = None) -> None:
+        if self._done:
+            raise ServingError(f"stream {self.request_id!r} finalized twice")
+        self._done = True
+        self._error = error
+
+
+class ContinuousScheduler:
+    """One decode loop over an ever-changing set of live rows.
+
+    Drive it by calling :meth:`step` repeatedly (or :meth:`drain` to run
+    until idle).  ``submit`` never blocks and never runs the model —
+    prompts wait in FIFO order until the admission policy lets them into
+    the batch.  The scheduler is single-threaded by design; the serving
+    tier's ``ContinuousEngine`` adds the queue/locking layer.
+    """
+
+    def __init__(
+        self,
+        model: MistralTiny,
+        config: GenerationConfig | None = None,
+        policy: AdmissionPolicy | None = None,
+        prefix_cache: PrefixCache | None = None,
+        obs=None,
+    ):
+        self.model = model
+        self.config = config or GenerationConfig()
+        self.policy = policy or AdmissionPolicy()
+        self.prefix_cache = prefix_cache
+        self._budget = _check_budget(model, self.config)
+        if obs is None:
+            from repro.obs import get_observability
+
+            obs = get_observability()
+        self.obs = obs
+        registry = obs.metrics
+        self._metrics = {
+            "prefill_tokens": registry.counter("generation.prefill_tokens"),
+            "tokens": registry.counter("generation.tokens_generated"),
+        }
+        self._m_admitted = registry.counter("generation.continuous.admitted")
+        self._m_retired = registry.counter("generation.continuous.retired")
+        self._m_stream = registry.counter("generation.continuous.stream_tokens")
+        self._m_steps = registry.counter("generation.continuous.steps")
+        self._g_live = registry.gauge("generation.continuous.live_rows")
+        self._g_waiting = registry.gauge("generation.continuous.waiting")
+        self._h_step = registry.histogram("generation.decode_step_s")
+
+        self._waiting: deque[tuple[GenerationStream, np.ndarray]] = deque()
+        self._state = None  # DecodeState | None
+        self._live: list[GenerationStream] = []
+        self._rngs: list = []  # per live row, parallel to _live
+        self._tokens: list[int] = []  # next input token per live row
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    @property
+    def live_rows(self) -> int:
+        return len(self._live)
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self._waiting) or self._state is not None
+
+    def submit(
+        self,
+        prompt_ids,
+        on_token: Callable[[GenerationStream, int], None] | None = None,
+        request_id: str | None = None,
+    ) -> GenerationStream:
+        """Queue one prompt for admission; returns its stream handle.
+
+        The prompt is left-truncated to the model's context budget, the
+        same as ``generate``/``generate_batch``, so continuous outputs
+        stay comparable token-for-token.
+        """
+        ids = np.asarray(prompt_ids, dtype=np.int64).reshape(-1)[-self._budget :]
+        if len(ids) == 0:
+            raise ConfigError("ContinuousScheduler.submit() received an empty prompt")
+        if request_id is None:
+            request_id = f"seq-{self._counter}"
+        self._counter += 1
+        stream = GenerationStream(request_id, on_token=on_token)
+        self._waiting.append((stream, ids))
+        self._g_waiting.set(len(self._waiting))
+        return stream
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> int:
+        """Admit what the policy allows, then decode one token per live row.
+
+        Returns the number of tokens emitted this step (first tokens
+        from freshly admitted rows included).  A step with nothing
+        waiting and nothing live is a no-op returning 0.
+        """
+        if not self.has_work:
+            return 0
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with no_grad():
+                emitted = self._admit()
+                emitted += self._decode_step()
+        finally:
+            if was_training:
+                self.model.train()
+        self._m_steps.inc()
+        self._g_live.set(len(self._live))
+        self._g_waiting.set(len(self._waiting))
+        return emitted
+
+    def drain(self) -> None:
+        """Step until every submitted prompt has finished."""
+        while self.has_work:
+            self.step()
+
+    def _admit(self) -> int:
+        take = min(
+            len(self._waiting),
+            self.policy.max_prefills_per_step,
+            self.policy.max_live_rows - len(self._live),
+        )
+        if take <= 0:
+            return 0
+        if self.prefix_cache is not None:
+            self.prefix_cache.sync(self.model.weight_version)
+        cohort = [self._waiting.popleft() for _ in range(take)]
+        rows = [ids for _, ids in cohort]
+        state, last_logits = _prefill_batch(self.model, rows, self.prefix_cache, self._metrics)
+        self._m_admitted.inc(take)
+        self._metrics["tokens"].inc(take)
+
+        keep: list[int] = []
+        rngs = [default_rng(self.config.seed) for _ in cohort]
+        for r, (stream, _ids) in enumerate(cohort):
+            next_id = _sample_token(last_logits[r], self.config, rngs[r])
+            stream._emit(next_id)
+            self._m_stream.inc()
+            if (
+                next_id in self.config.stop_tokens
+                or len(stream.tokens) == self.config.max_new_tokens
+            ):
+                stream._finalize()
+                self._m_retired.inc()
+                continue
+            keep.append(r)
+        if not keep:
+            return take
+        if len(keep) < take:
+            state.select_rows(keep)
+        if self._state is None:
+            self._state = state
+        else:
+            self._state.admit(state)
+        for r in keep:
+            stream, _ids = cohort[r]
+            self._live.append(stream)
+            self._rngs.append(rngs[r])
+            self._tokens.append(stream.tokens[-1])
+        return take
+
+    def _decode_step(self) -> int:
+        if self._state is None:
+            return 0
+        started = time.perf_counter()
+        mask = self._state.step_mask()
+        step_ids = np.asarray(self._tokens, dtype=np.int64)[:, None]
+        logits = self.model.forward(
+            step_ids,
+            cache=self._state.cache,
+            positions=self._state.row_pos[:, None],
+            attn_mask=mask,
+        ).data[:, -1, :]
+        self._state.advance()
+        self._h_step.observe(time.perf_counter() - started)
+        emitted = len(self._live)
+        self._metrics["tokens"].inc(emitted)
+        self._m_stream.inc(emitted)
+
+        keep: list[int] = []
+        next_tokens: list[int] = []
+        for row, stream in enumerate(self._live):
+            next_id = _sample_token(logits[row], self.config, self._rngs[row])
+            stream._emit(next_id)
+            if (
+                next_id in self.config.stop_tokens
+                or len(stream.tokens) == self.config.max_new_tokens
+            ):
+                stream._finalize()
+                self._m_retired.inc()
+                continue
+            keep.append(row)
+            next_tokens.append(next_id)
+        if len(keep) < len(self._live):
+            self._live = [self._live[row] for row in keep]
+            self._rngs = [self._rngs[row] for row in keep]
+            if self._live:
+                self._state.select_rows(keep)
+            else:
+                self._state = None
+        self._tokens = next_tokens
+        return emitted
+
+    # ------------------------------------------------------------------
+    # Failure containment (serving tier hook)
+    # ------------------------------------------------------------------
+
+    def abort_all(self, error: BaseException) -> list[GenerationStream]:
+        """Finalize every live and waiting stream with ``error``.
+
+        The serving tier calls this when the model path fails mid-loop
+        (chaos injection, replica crash): partial streams stay readable
+        on the handles, the terminal result is the error, and the
+        scheduler resets to empty so a fresh loop can start.
+        """
+        aborted = list(self._live) + [stream for stream, _ in self._waiting]
+        for stream in aborted:
+            stream._finalize(error)
+            self._m_retired.inc()
+        self._live = []
+        self._rngs = []
+        self._tokens = []
+        self._waiting.clear()
+        self._state = None
+        self._g_live.set(0)
+        self._g_waiting.set(0)
+        return aborted
+
+
+def generate_continuous(
+    model: MistralTiny,
+    prompts,
+    config: GenerationConfig | None = None,
+    arrivals: Sequence[int] | None = None,
+    policy: AdmissionPolicy | None = None,
+    prefix_cache: PrefixCache | None = None,
+    obs=None,
+) -> list[list[int]]:
+    """Drive a :class:`ContinuousScheduler` over a fixed arrival schedule.
+
+    ``arrivals[i]`` is the decode-step index at which prompt ``i``
+    becomes available (default: all at step 0).  Returns one token list
+    per prompt in input order — bit-identical to ``generate_batch`` on
+    the same prompts/config regardless of the schedule.  This is the
+    deterministic harness the parity tests and the saturation benchmark
+    share.
+    """
+    prompts = list(prompts)
+    if not prompts:
+        return []
+    if arrivals is None:
+        arrivals = [0] * len(prompts)
+    if len(arrivals) != len(prompts):
+        raise ConfigError(
+            f"arrivals has {len(arrivals)} entries for {len(prompts)} prompts"
+        )
+    scheduler = ContinuousScheduler(
+        model, config=config, policy=policy, prefix_cache=prefix_cache, obs=obs
+    )
+    order = sorted(range(len(prompts)), key=lambda i: (arrivals[i], i))
+    streams: list[GenerationStream | None] = [None] * len(prompts)
+    cursor = 0
+    step_no = 0
+    while cursor < len(order) or scheduler.has_work:
+        while cursor < len(order) and arrivals[order[cursor]] <= step_no:
+            i = order[cursor]
+            streams[i] = scheduler.submit(prompts[i], request_id=f"prompt-{i}")
+            cursor += 1
+        scheduler.step()
+        step_no += 1
+    return [list(stream.tokens) for stream in streams]

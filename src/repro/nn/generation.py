@@ -236,6 +236,46 @@ class _BatchState:
         self.kv_valid = self.kv_valid[keep]
         self.row_pos = self.row_pos[keep]
 
+    def admit(self, other: "_BatchState") -> None:
+        """Merge another batch's rows into this one (continuous admit).
+
+        Pads both slot tables to a common width, appends the newcomer's
+        rows to every layer's stacked cache, and recomputes ``uniform``
+        exactly.  Padding slots stay invalid (masked forever), so a
+        merged step computes bitwise the same per-row logits as running
+        the two batches separately — the foundation of the continuous
+        scheduler's parity guarantee.
+        """
+        width = max(self.kv_pos.shape[1], other.kv_pos.shape[1])
+
+        def pad_cols(a: np.ndarray) -> np.ndarray:
+            if a.shape[1] == width:
+                return a
+            extra = np.zeros((a.shape[0], width - a.shape[1]), dtype=a.dtype)
+            return np.concatenate([a, extra], axis=1)
+
+        self.kv_pos = np.concatenate([pad_cols(self.kv_pos), pad_cols(other.kv_pos)], axis=0)
+        self.kv_valid = np.concatenate(
+            [pad_cols(self.kv_valid), pad_cols(other.kv_valid)], axis=0
+        )
+        self.row_pos = np.concatenate([self.row_pos, other.row_pos], axis=0)
+        for mine, theirs in zip(self.cache.layers, other.cache.layers):
+            mine.admit_rows(theirs)
+        # Exact uniformity: every slot real and contiguous from 0, every
+        # row about to decode position ``width`` — the condition under
+        # which the model's own mask logic (and decode fast path) is
+        # correct without an explicit mask.
+        self.uniform = (
+            bool(self.kv_valid.all())
+            and bool((self.kv_pos == np.arange(width, dtype=np.int64)).all())
+            and bool((self.row_pos == width).all())
+        )
+
+
+# Public name for the batched-decode bookkeeping: the continuous
+# scheduler builds on the same state object generate_batch() uses.
+DecodeState = _BatchState
+
 
 def _snapshot_row(layers_kv, row: int, length: int, offset: int = 0) -> KVCacheSnapshot:
     """Freeze one row's first ``length`` KV slots as a cache snapshot."""
@@ -408,10 +448,13 @@ def generate_batch(
 
             active: list[int] = []  # original row index per live batch row
             tokens: list[int] = []
+            # The first token of every row is sampled from the prefill
+            # logits — it counts toward throughput like any other.
+            metrics["tokens"].inc(len(rows))
             for i in range(len(rows)):
                 next_id = _sample_token(last_logits[i], config, rngs[i])
                 outputs[i].append(next_id)
-                if next_id in config.stop_tokens or config.max_new_tokens == 1:
+                if next_id in config.stop_tokens or len(outputs[i]) == config.max_new_tokens:
                     continue
                 active.append(i)
                 tokens.append(next_id)

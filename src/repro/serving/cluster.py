@@ -95,6 +95,11 @@ class ReplicaApp:
     swap_weights: Callable[[Mapping[str, object]], None] | None = None
     weight_version: Callable[[], int] | None = None
     ping: Callable[[], None] | None = None
+    # Optional generation bundle (a serving.continuous.GenerationApp):
+    # required when the cluster runs engine_mode="continuous", unused
+    # otherwise.  Thread transport only — the fork RPC ships whole score
+    # batches, not token streams.
+    generation: object | None = None
 
 
 ReplicaFactory = Callable[[int], ReplicaApp]
@@ -132,6 +137,7 @@ class ClusterConfig:
 
     replicas: int = 2
     transport: str = "thread"
+    engine_mode: str = "microbatch"  # or "continuous" (streaming decode)
     max_batch_size: int = 8
     max_wait_s: float = 0.005
     queue_capacity: int = 64
@@ -153,6 +159,15 @@ class ClusterConfig:
         if self.transport not in ("thread", "fork"):
             raise ClusterError(
                 f"transport must be 'thread' or 'fork', got {self.transport!r}"
+            )
+        if self.engine_mode not in ("microbatch", "continuous"):
+            raise ClusterError(
+                f"engine_mode must be 'microbatch' or 'continuous', got {self.engine_mode!r}"
+            )
+        if self.engine_mode == "continuous" and self.transport != "thread":
+            raise ClusterError(
+                "engine_mode='continuous' requires the thread transport: "
+                "the fork RPC ships whole score batches, not token streams"
             )
         if self.tenant_quota is not None and self.tenant_quota <= 0:
             raise ClusterError(f"tenant_quota must be positive, got {self.tenant_quota}")
@@ -235,6 +250,22 @@ class ThreadTransport:
         except ReplicaCrashedError:
             self._crashed = True
             raise
+
+    def generation_app(self):
+        """The app's generation bundle (continuous engine mode).
+
+        The continuous engine calls this every pump, so a restarted
+        replica's fresh app is picked up automatically and a dead one
+        raises :class:`ReplicaCrashedError` mid-loop — the same crash
+        signal ``score`` gives the micro-batch engine.
+        """
+        app = self._check_alive()
+        if app.generation is None:
+            raise ClusterError(
+                f"replica {self.replica_id} app has no generation bundle; "
+                "engine_mode='continuous' needs ReplicaApp.generation"
+            )
+        return app.generation
 
     def ping(self) -> None:
         app = self._check_alive()
@@ -449,13 +480,19 @@ class ForkTransport:
 
 
 class Replica:
-    """One engine + transport + breaker under supervisor management."""
+    """One engine + transport + breaker under supervisor management.
+
+    ``engine`` is a :class:`MicroBatchEngine` or (continuous mode) a
+    :class:`~repro.serving.continuous.ContinuousEngine` — the supervisor
+    only touches their shared surface (submit/pump/start/stop/
+    withdraw_all/queue_depth/stats).
+    """
 
     def __init__(
         self,
         replica_id: int,
         transport,
-        engine: MicroBatchEngine,
+        engine,
         breaker: CircuitBreaker,
     ):
         self.id = replica_id
@@ -539,12 +576,22 @@ class ClusterSupervisor:
                 )
             else:
                 transport = ThreadTransport(factory, i)
-            engine = MicroBatchEngine(
-                batch_fn=transport.score,
-                config=self.config.engine_config(),
-                clock=clock,
-                obs=self.obs,
-            )
+            if self.config.engine_mode == "continuous":
+                from repro.serving.continuous import ContinuousEngine
+
+                engine = ContinuousEngine(
+                    app=transport.generation_app,
+                    config=self.config.engine_config(),
+                    clock=clock,
+                    obs=self.obs,
+                )
+            else:
+                engine = MicroBatchEngine(
+                    batch_fn=transport.score,
+                    config=self.config.engine_config(),
+                    clock=clock,
+                    obs=self.obs,
+                )
             breaker = CircuitBreaker(
                 failure_threshold=self.config.breaker_failure_threshold,
                 window=self.config.breaker_window,
@@ -975,9 +1022,11 @@ def zigong_replica_factory(
     """
     from repro.baselines.lm import LMClassifier
     from repro.data.templates import CLASSIFICATION_TEMPLATE
+    from repro.eval.parsing import parse_answer
     from repro.lora.inject import apply_lora
     from repro.nn.transformer import MistralTiny
     from repro.serving.behavior_card import DEFAULT_QUESTION
+    from repro.serving.continuous import GenerationApp
 
     config = zigong.config
     tokenizer = zigong.tokenizer
@@ -1014,10 +1063,40 @@ def zigong_replica_factory(
                 for r, s in zip(requests, scores)
             ]
 
+        def encode(request: ScoreRequest):
+            prompt = CLASSIFICATION_TEMPLATE.format(
+                sentence=request.behavior_text, question=asked
+            )
+            return classifier._prompt_ids(prompt)
+
+        def finish(request: ScoreRequest, tokens: list[int]) -> ScoreResult:
+            # Generative read-out: the decoded answer text is parsed the
+            # same way the eval harness counts the Miss metric.  A miss
+            # scores 0.5 and is conservatively not approved.
+            text = tokenizer.decode(tokens)
+            label = parse_answer(text, "yes", "no")
+            score = 1.0 if label == 1 else 0.0 if label == 0 else 0.5
+            return ScoreResult(
+                user_id=request.user_id,
+                score=score,
+                approved=label == 0,
+                threshold=threshold,
+                cached=False,
+            )
+
+        generation = GenerationApp(
+            model=model,
+            encode=encode,
+            finish=finish,
+            generation=classifier._generation_config(),
+            prefix_cache=classifier.prefix_cache,
+        )
+
         return ReplicaApp(
             batch_fn=batch_fn,
             swap_weights=model.load_state_dict,
             weight_version=lambda: model.weight_version,
+            generation=generation,
         )
 
     return factory

@@ -189,6 +189,9 @@ class PendingResult:
         self._error: BaseException | None = None
         self._callbacks: list[Callable[["PendingResult"], None]] = []
         self._finalize_lock = threading.Lock()
+        self._stream: list[int] = []
+        self._token_callbacks: list[Callable[["PendingResult", int], None]] = []
+        self._stream_cond = threading.Condition(self._finalize_lock)
 
     @property
     def done(self) -> bool:
@@ -227,6 +230,7 @@ class PendingResult:
             self._error = error
             self._event.set()
             callbacks, self._callbacks = self._callbacks, []
+            self._stream_cond.notify_all()
         for fn in callbacks:
             fn(self)
 
@@ -235,6 +239,66 @@ class PendingResult:
 
     def _reject(self, error: BaseException) -> None:
         self._finalize(None, error)
+
+    # -- token streaming (continuous engine) ---------------------------
+
+    @property
+    def stream(self) -> tuple[int, ...]:
+        """Tokens streamed so far — a prefix of the final decode output.
+
+        Populated only by generation engines (:class:`ContinuousEngine`);
+        micro-batch scoring leaves it empty.
+        """
+        with self._finalize_lock:
+            return tuple(self._stream)
+
+    def add_token_callback(self, fn: Callable[["PendingResult", int], None]) -> None:
+        """Run ``fn(self, token_id)`` for every streamed token.
+
+        Fires synchronously on the decoding thread, in emission order.
+        Tokens emitted before registration are not replayed — read
+        :attr:`stream` for the full prefix.
+        """
+        with self._finalize_lock:
+            self._token_callbacks.append(fn)
+
+    def _emit_token(self, token_id: int) -> None:
+        with self._finalize_lock:
+            if self.done:
+                raise ServingError(
+                    f"request for {self.request.user_id!r} streamed a token "
+                    "after finalization"
+                )
+            self._stream.append(token_id)
+            callbacks = list(self._token_callbacks)
+            self._stream_cond.notify_all()
+        for fn in callbacks:
+            fn(self, token_id)
+
+    def token_stream(self, timeout: float | None = None):
+        """Iterate tokens as they decode; ends when the request finalizes.
+
+        Safe to consume from another thread while the engine decodes.
+        ``timeout`` bounds the wait for each *next* token and raises
+        :class:`~repro.errors.ServingTimeout` on expiry.  Iteration
+        always ends cleanly at finalization — for a failed request the
+        stream stops at the last good token and the terminal error is
+        delivered (exactly once) by :meth:`result`.
+        """
+        index = 0
+        while True:
+            with self._stream_cond:
+                while index >= len(self._stream) and not self.done:
+                    if not self._stream_cond.wait(timeout):
+                        raise ServingTimeout(
+                            f"no token for {self.request.user_id!r} within {timeout}s"
+                        )
+                if index < len(self._stream):
+                    token = self._stream[index]
+                    index += 1
+                else:
+                    return
+            yield token
 
     def result(self, timeout: float | None = None) -> ScoreResult:
         """Block until scored; re-raise the stored error if the request failed.
@@ -378,8 +442,14 @@ class MicroBatchEngine:
     # ------------------------------------------------------------------
 
     def _take_batch(self) -> list[tuple[PendingResult, float]]:
-        """Pop up to ``max_batch_size`` live requests, expiring stale ones."""
+        """Pop up to ``max_batch_size`` live requests, expiring stale ones.
+
+        The deadline boundary is inclusive: a request whose deadline
+        equals the current clock is still admitted (and, once admitted,
+        always gets one primary attempt — see :meth:`_attempt_primary`).
+        """
         batch: list[tuple[PendingResult, float]] = []
+        expired: list[PendingResult] = []
         with self._lock:
             while self._queue and len(batch) < self.config.max_batch_size:
                 pending, enqueued_at = self._queue.popleft()
@@ -387,14 +457,20 @@ class MicroBatchEngine:
                 if deadline is not None and self._clock() > deadline:
                     self.stats.expired += 1
                     self._m_expired.inc()
-                    pending._reject(
-                        DeadlineExceededError(
-                            f"request for {pending.request.user_id!r} expired in queue"
-                        )
-                    )
+                    expired.append(pending)
                     continue
                 batch.append((pending, enqueued_at))
             self._g_queue_depth.set(len(self._queue))
+        # Reject outside the lock: _reject runs done-callbacks on this
+        # thread, and a callback may re-enter submit() (the cluster
+        # supervisor's redispatch hook does exactly that) — finalizing
+        # while holding self._lock would deadlock on the re-entry.
+        for pending in expired:
+            pending._reject(
+                DeadlineExceededError(
+                    f"request for {pending.request.user_id!r} expired in queue"
+                )
+            )
         return batch
 
     def _score_batch(self, batch: list[tuple[PendingResult, float]]) -> None:
@@ -423,6 +499,12 @@ class MicroBatchEngine:
             return attempt()
         budget = None
         if deadline is not None:
+            # Admission is the commitment point: a request that survived
+            # the queue's strict ``clock() > deadline`` check always gets
+            # this one attempt (RetryPolicy runs the first attempt
+            # unconditionally).  An exact-deadline budget of 0 therefore
+            # only forbids *retries* — it never silently drops the
+            # request, keeping the boundary consistent with _take_batch.
             budget = max(0.0, deadline - self._clock())
         return self._retry.call(attempt, budget_s=budget)
 

@@ -225,7 +225,7 @@ class TestServeCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "of 8 decisions" in out
-        assert "2 thread replica(s)" in out
+        assert "2 thread micro-batch replica(s)" in out
         assert events.exists()
         # The recorded run renders with the cluster counters visible.
         assert main(["obs", "report", "--events", str(events)]) == 0
@@ -256,3 +256,26 @@ class TestServeCommand:
             "serve", "--model", str(model_dir), "--synthetic", "4",
             "--requests", "x.jsonl",
         ]) == 2
+
+    def test_continuous_mode_serves_synthetic_traffic(self, model_dir, tmp_path, capsys):
+        events = tmp_path / "run.jsonl"
+        code = main([
+            "serve", "--model", str(model_dir), "--replicas", "2",
+            "--continuous", "--synthetic", "6", "--events", str(events),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "of 6 decisions" in out
+        assert "2 thread continuous replica(s)" in out
+        # Continuous counters land in the recorded obs report.
+        assert main(["obs", "report", "--events", str(events)]) == 0
+        report = capsys.readouterr().out
+        assert "generation.continuous.admitted" in report
+
+    def test_continuous_requires_thread_transport(self, model_dir, capsys):
+        code = main([
+            "serve", "--model", str(model_dir), "--replicas", "1",
+            "--continuous", "--transport", "fork", "--synthetic", "2",
+        ])
+        assert code == 2
+        assert "thread" in capsys.readouterr().err

@@ -376,3 +376,40 @@ class TestWiring:
         assert counters["generation.prefix_misses"] == cache.stats.misses
         assert counters["generation.prefill_tokens_saved"] == cache.stats.tokens_saved
         assert counters["generation.prefill_tokens"] > 0
+
+class TestTokenAccounting:
+    """Regression: the first sampled token counts toward throughput.
+
+    ``generate_batch`` used to increment ``generation.tokens_generated``
+    only inside the decode loop, so the token sampled from the prefill
+    logits — one per row — was invisible to the counter, and rows
+    retiring at the prefill (``max_new_tokens == 1`` or an immediate
+    stop token) reported zero generated tokens.
+    """
+
+    def test_counter_includes_prefill_sampled_token(self, tiny_model, tiny_config):
+        from repro.obs import Observability
+
+        obs = Observability.create()
+        prompts = _prompts(tiny_config.vocab_size, (5, 7, 9), seed=3)
+        outputs = generate_batch(
+            tiny_model, prompts, GenerationConfig(max_new_tokens=4), obs=obs
+        )
+        total = sum(len(row) for row in outputs)
+        assert obs.metrics.counter("generation.tokens_generated").value == total
+
+    def test_max_new_tokens_one_counts_and_retires(self, tiny_model, tiny_config):
+        from repro.obs import Observability
+
+        obs = Observability.create()
+        prompts = _prompts(tiny_config.vocab_size, (5, 7, 9), seed=3)
+        outputs = generate_batch(
+            tiny_model, prompts, GenerationConfig(max_new_tokens=1), obs=obs
+        )
+        assert [len(row) for row in outputs] == [1, 1, 1]
+        assert obs.metrics.counter("generation.tokens_generated").value == 3
+        # Parity with the sequential path still holds at the boundary.
+        _assert_rows_equal(
+            outputs,
+            [generate(tiny_model, p, GenerationConfig(max_new_tokens=1)) for p in prompts],
+        )

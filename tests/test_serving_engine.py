@@ -520,3 +520,201 @@ class TestEngineEdgeCases:
         with pytest.raises(RuntimeError):
             pending.result(timeout=0)
         assert obs.metrics.counter("serving.failed").value == 1
+
+
+def _ok_batch_fn(requests):
+    return [ScoreResult(r.user_id, 0.1, True, 0.5, False) for r in requests]
+
+
+class TestExpiryCallbackReentrancy:
+    """Regression: expiry finalization must not run under the queue lock.
+
+    The cluster supervisor's redispatch hook re-enters ``submit()`` from
+    a done-callback.  ``_take_batch`` used to reject expired requests
+    while still holding ``self._lock``; the re-entrant ``submit`` then
+    blocked on the same (non-reentrant) lock forever.  The drain runs on
+    a side thread with a join timeout so a reintroduced deadlock fails
+    the test instead of hanging the suite.
+    """
+
+    def test_expiry_callback_can_resubmit(self):
+        import threading
+
+        clock = _Clock()
+        engine = MicroBatchEngine(
+            _ok_batch_fn,
+            EngineConfig(max_batch_size=4, queue_capacity=8),
+            clock=clock,
+        )
+        stale = engine.submit(ScoreRequest("u1", "t=1", deadline=clock.now + 1))
+        resubmitted: list = []
+
+        def redispatch(pending):
+            if pending.error is not None:
+                # Same shape as ClusterSupervisor._redispatch: re-enter
+                # submit() on the finalizing (drain) thread.
+                resubmitted.append(engine.submit(ScoreRequest("u1-retry", "t=1")))
+
+        stale.add_done_callback(redispatch)
+        clock.now += 100.0  # expires in queue
+
+        drainer = threading.Thread(target=engine.drain)
+        drainer.start()
+        drainer.join(timeout=10.0)
+        assert not drainer.is_alive(), "expiry finalization deadlocked _take_batch"
+        with pytest.raises(DeadlineExceededError):
+            stale.result(timeout=0)
+        assert len(resubmitted) == 1
+        engine.drain()  # the re-submission landed after the first drain
+        assert resubmitted[0].result(timeout=0).user_id == "u1-retry"
+
+
+class TestExactDeadlineBoundary:
+    """A request admitted at its exact deadline always gets one attempt."""
+
+    def test_exact_deadline_is_admitted_and_scored(self):
+        clock = _Clock(now=1000.0, step=0.0)  # frozen clock
+        engine = MicroBatchEngine(
+            _ok_batch_fn,
+            EngineConfig(max_batch_size=4, queue_capacity=8),
+            clock=clock,
+        )
+        pending = engine.submit(ScoreRequest("u1", "t=1", deadline=1000.0))
+        engine.drain()
+        assert pending.result(timeout=0).user_id == "u1"
+        assert engine.stats.expired == 0
+        assert engine.stats.completed == 1
+
+    def test_just_past_deadline_expires(self):
+        clock = _Clock(now=1000.0, step=0.0)
+        engine = MicroBatchEngine(
+            _ok_batch_fn,
+            EngineConfig(max_batch_size=4, queue_capacity=8),
+            clock=clock,
+        )
+        pending = engine.submit(ScoreRequest("u1", "t=1", deadline=999.9))
+        engine.drain()
+        with pytest.raises(DeadlineExceededError):
+            pending.result(timeout=0)
+        assert engine.stats.expired == 1
+
+    def test_exact_deadline_gets_one_attempt_no_retries(self):
+        """Zero retry budget forbids retries, never the first attempt."""
+        from repro.resilience import RetryPolicy
+
+        clock = _Clock(now=1000.0, step=0.0)
+        attempts = []
+
+        def failing(requests):
+            attempts.append(len(requests))
+            raise RuntimeError("model path down")
+
+        engine = MicroBatchEngine(
+            failing,
+            EngineConfig(max_batch_size=4, queue_capacity=8),
+            clock=clock,
+            # Any nonzero backoff overruns a zero budget, so the policy
+            # stops after the (unconditional) first attempt.
+            retry_policy=RetryPolicy(
+                max_attempts=3, base_delay_s=0.05, jitter=0.0,
+                sleep=lambda s: None, clock=lambda: 0.0,
+            ),
+        )
+        pending = engine.submit(ScoreRequest("u1", "t=1", deadline=1000.0))
+        engine.drain()
+        with pytest.raises(RuntimeError):
+            pending.result(timeout=0)
+        assert attempts == [1]  # exactly one primary attempt, no retries
+        assert engine.stats.expired == 0  # admitted, not silently dropped
+
+    def test_roomy_deadline_still_retries(self):
+        from repro.resilience import RetryPolicy
+
+        clock = _Clock(now=1000.0, step=0.0)
+        calls = {"n": 0}
+
+        def flaky(requests):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return _ok_batch_fn(requests)
+
+        engine = MicroBatchEngine(
+            flaky,
+            EngineConfig(max_batch_size=4, queue_capacity=8),
+            clock=clock,
+            retry_policy=RetryPolicy(
+                max_attempts=3, base_delay_s=0.0, jitter=0.0,
+                sleep=lambda s: None, clock=lambda: 0.0,
+            ),
+        )
+        pending = engine.submit(ScoreRequest("u1", "t=1", deadline=2000.0))
+        engine.drain()
+        assert pending.result(timeout=0).user_id == "u1"
+        assert calls["n"] == 2
+
+
+class TestPendingResultStreaming:
+    """Token streaming on PendingResult (populated by ContinuousEngine)."""
+
+    def _pending(self):
+        from repro.serving import PendingResult
+
+        return PendingResult(ScoreRequest("u1", "t=1"))
+
+    def test_stream_accumulates_in_order(self):
+        pending = self._pending()
+        seen = []
+        pending.add_token_callback(lambda p, t: seen.append(t))
+        for token in (3, 1, 4):
+            pending._emit_token(token)
+        assert pending.stream == (3, 1, 4)
+        assert seen == [3, 1, 4]
+
+    def test_emit_after_finalize_raises(self):
+        pending = self._pending()
+        pending._emit_token(3)
+        pending._resolve(ScoreResult("u1", 0.1, True, 0.5, False))
+        with pytest.raises(ServingError):
+            pending._emit_token(4)
+        assert pending.stream == (3,)  # prefix preserved
+
+    def test_token_stream_ends_at_finalization(self):
+        pending = self._pending()
+        for token in (5, 6):
+            pending._emit_token(token)
+        pending._resolve(ScoreResult("u1", 0.1, True, 0.5, False))
+        assert list(pending.token_stream(timeout=0)) == [5, 6]
+
+    def test_token_stream_ends_cleanly_on_failure(self):
+        pending = self._pending()
+        pending._emit_token(5)
+        pending._reject(RuntimeError("replica died mid-decode"))
+        assert list(pending.token_stream(timeout=0)) == [5]
+        with pytest.raises(RuntimeError):
+            pending.result(timeout=0)
+
+    def test_token_stream_timeout(self):
+        from repro.errors import ServingTimeout
+
+        pending = self._pending()
+        with pytest.raises(ServingTimeout):
+            next(pending.token_stream(timeout=0.01))
+
+    def test_token_stream_blocks_across_threads(self):
+        import threading
+
+        pending = self._pending()
+        collected: list[int] = []
+
+        def consume():
+            collected.extend(pending.token_stream(timeout=5.0))
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        for token in (7, 8, 9):
+            pending._emit_token(token)
+        pending._resolve(ScoreResult("u1", 0.1, True, 0.5, False))
+        consumer.join(timeout=10.0)
+        assert not consumer.is_alive()
+        assert collected == [7, 8, 9]
