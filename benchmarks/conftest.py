@@ -9,6 +9,8 @@ tables are printed and written to ``benchmarks/results/``.
 from __future__ import annotations
 
 import dataclasses
+import json
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -22,10 +24,41 @@ RESULTS_DIR = Path(__file__).parent / "results"
 SEED = 0
 
 
-def save_result(name: str, text: str) -> None:
-    """Print a rendered table and persist it under benchmarks/results/."""
+def _git_rev() -> str | None:
+    """Short commit hash of the repo, or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def save_result(name: str, text: str, metrics: dict | None = None,
+                config: dict | None = None) -> None:
+    """Print a rendered table and persist it under benchmarks/results/.
+
+    Writes two files: the human-readable ``<name>.txt`` table, and a
+    machine-readable ``<name>.json`` carrying the structured ``metrics``
+    and ``config`` the caller passes (plus the git revision), so runs can
+    be diffed/plotted without re-parsing rendered tables.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    payload = {
+        "name": name,
+        "git_rev": _git_rev(),
+        "config": config or {},
+        "metrics": metrics or {},
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+    )
     print()
     print(text)
 

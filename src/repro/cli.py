@@ -300,7 +300,7 @@ def cmd_serve(args) -> int:
         return 2
     obs = Observability.create(events_path=args.events) if args.events else get_observability()
     cluster = ClusterSupervisor(
-        zigong_replica_factory(zigong, threshold=args.threshold),
+        zigong_replica_factory(zigong, threshold=args.threshold, quantize=args.quantize),
         ClusterConfig(
             replicas=args.replicas,
             transport=args.transport,
@@ -461,6 +461,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--requests", default=None, help="jsonl with user_id + behavior_text per line")
     p.add_argument("--synthetic", type=int, default=None, help="score N synthetic behavior rows instead")
     p.add_argument("--threshold", type=float, default=0.5)
+    p.add_argument(
+        "--quantize",
+        choices=("int8",),
+        default=None,
+        help="serve replicas from int8 weights on the fused inference kernel "
+        "(~4x less weight memory per replica; the saved checkpoint stays float)",
+    )
     p.add_argument("--max-batch-size", type=int, default=8)
     p.add_argument("--timeout", type=float, default=60.0, help="per-request wait bound (seconds)")
     p.add_argument("--show", type=int, default=10, help="decisions to print")

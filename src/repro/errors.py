@@ -32,6 +32,16 @@ class ConfigError(ReproError):
     """An invalid configuration value was supplied."""
 
 
+class QuantizationError(ConfigError):
+    """Misuse of the int8 quantized inference path.
+
+    Raised when :func:`repro.nn.quantize_model` is asked to quantize an
+    unmergeable model (unmerged LoRA adapters, no eligible layers, an
+    unsupported dtype) and when a quantized layer is driven from a
+    gradient-recording graph — quantization is inference-only.
+    """
+
+
 class DataError(ReproError):
     """Dataset generation or instruction-data construction failure."""
 

@@ -1,14 +1,27 @@
 """Neural network library: modules, layers and the MistralTiny causal LM."""
 
-from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.module import Buffer, Module, ModuleList, Parameter
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, RMSNorm
 from repro.nn.rope import RotaryEmbedding
-from repro.nn.attention import MultiHeadAttention, rect_attention_mask, sliding_window_mask
+from repro.nn.attention import (
+    MultiHeadAttention,
+    fused_attention,
+    rect_attention_mask,
+    sliding_window_mask,
+)
 from repro.nn.cache import KVCache, KVCacheSnapshot, LayerKVCache, PrefixCache, PrefixEntry
 from repro.nn.mlp import MLP, SwiGLU
 from repro.nn.transformer import MistralTiny, ModelConfig, TransformerBlock
 from repro.nn.classifier import SequenceClassifier, pad_sequences
-from repro.nn.flops import FlopsEstimate, count_parameters, estimate_flops
+from repro.nn.flops import FlopsEstimate, count_parameters, estimate_decode_flops, estimate_flops
+from repro.nn.quant import (
+    QuantizedEmbedding,
+    QuantizedLinear,
+    is_quantized,
+    quantize_model,
+    quantize_weight,
+    weight_bytes,
+)
 from repro.nn.generation import (
     DecodeState,
     GenerationConfig,
@@ -27,6 +40,7 @@ __all__ = [
     "Module",
     "ModuleList",
     "Parameter",
+    "Buffer",
     "Linear",
     "Embedding",
     "RMSNorm",
@@ -34,6 +48,7 @@ __all__ = [
     "Dropout",
     "RotaryEmbedding",
     "MultiHeadAttention",
+    "fused_attention",
     "sliding_window_mask",
     "rect_attention_mask",
     "KVCache",
@@ -60,4 +75,11 @@ __all__ = [
     "FlopsEstimate",
     "count_parameters",
     "estimate_flops",
+    "estimate_decode_flops",
+    "QuantizedLinear",
+    "QuantizedEmbedding",
+    "quantize_model",
+    "quantize_weight",
+    "is_quantized",
+    "weight_bytes",
 ]

@@ -70,6 +70,55 @@ def sliding_window_mask(seq_len: int, window: int | None) -> np.ndarray:
     return _freeze(np.where(allowed, np.float32(0.0), _NEG_INF).astype(np.float32))
 
 
+def fused_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    n_kv_heads: int,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Fused scaled-dot-product attention over raw numpy arrays.
+
+    Collapses the separate scale / mask / softmax / weighted-sum steps of
+    the autograd path into one kernel: the ``1/sqrt(head_dim)`` scale is
+    folded into ``q``, grouped-query heads are handled by reshaping ``q``
+    to ``(B, KV, group·T, hd)`` and batching the matmul against the
+    un-repeated ``(B, KV, S, hd)`` keys/values (einsum
+    ``bkgth,bksh->bkgts`` lowered to a single BLAS call per side — no
+    head-repeat copies of the KV cache), the additive ``mask`` is applied
+    only when given, and the softmax runs in place on the score buffer.
+
+    Shapes: ``q`` is ``(B, H, T, hd)``, ``k``/``v`` are ``(B, KV, S, hd)``;
+    ``mask`` broadcasts over ``(B, H, T, S)`` — either ``(T, S)`` or
+    ``(B, 1, 1, S)`` / ``(B, H, T, S)``.  Returns merged heads
+    ``(B, T, H·hd)``.  Serves both prefill (``T > 1``) and the
+    ``T == 1`` decode fast path (``mask=None``).
+    """
+    batch, n_heads, q_len, head_dim = q.shape
+    group = n_heads // n_kv_heads
+    kv_len = k.shape[2]
+    q = q * np.float32(1.0 / np.sqrt(head_dim))
+    q5 = q.reshape(batch, n_kv_heads, group * q_len, head_dim)
+    scores = np.matmul(q5, k.swapaxes(-1, -2))  # (B, KV, group*T, S)
+    if mask is not None:
+        scores = scores.reshape(batch, n_kv_heads, group, q_len, kv_len)
+        if mask.ndim <= 2:
+            scores = scores + mask  # (T, S) broadcasts over (B, KV, G, T, S)
+        elif mask.ndim == 4 and mask.shape[1] == 1:
+            scores = scores + mask[:, :, None]  # (B, 1, 1, S) -> (B, 1, 1, 1, S)
+        elif mask.ndim == 4:
+            scores = scores + mask.reshape(batch, n_kv_heads, group, *mask.shape[2:])
+        else:
+            raise ConfigError(f"attention mask must have ndim <= 4, got shape {mask.shape}")
+        scores = scores.reshape(batch, n_kv_heads, group * q_len, kv_len)
+    scores -= scores.max(axis=-1, keepdims=True)
+    np.exp(scores, out=scores)
+    scores /= scores.sum(axis=-1, keepdims=True)
+    out = np.matmul(scores, v)  # (B, KV, group*T, hd)
+    out = out.reshape(batch, n_kv_heads, group, q_len, head_dim)
+    return out.transpose(0, 3, 1, 2, 4).reshape(batch, q_len, n_heads * head_dim)
+
+
 class MultiHeadAttention(Module):
     """Grouped-query multi-head self-attention with RoPE."""
 
@@ -128,6 +177,32 @@ class MultiHeadAttention(Module):
         out = weights @ v  # (B, KV, group, hd)
         return out.reshape(batch, 1, self.n_heads * self.head_dim)
 
+    def mask_for(self, seq, kv_len, start, kv_offset, cache, attn_mask):
+        """The additive mask a forward step needs, or ``None`` on the
+        decode fast path (single newest query, every retained key
+        visible) where building an all-zero mask would be pure waste.
+        Shared by the autograd :meth:`forward` and the fused raw-numpy
+        inference kernel so both paths agree on when masking applies.
+        """
+        if cache is not None and seq == 1 and attn_mask is None:
+            # The single query is the newest position, so causality
+            # admits every retained key, and the rolling window trim
+            # (or an explicit length check) guarantees no key is older
+            # than the window.
+            if (
+                self.sliding_window is None
+                or cache.window is not None  # append() already trimmed to window
+                or kv_len <= self.sliding_window
+            ):
+                return None
+        if attn_mask is not None:
+            return attn_mask
+        if cache is not None:
+            return rect_attention_mask(
+                seq, kv_len, self.sliding_window, q_offset=start, kv_offset=kv_offset
+            )
+        return sliding_window_mask(seq, self.sliding_window)
+
     def forward(self, x: Tensor, cache=None, positions=None, attn_mask=None) -> Tensor:
         """Self-attention over ``x``.
 
@@ -159,18 +234,9 @@ class MultiHeadAttention(Module):
         else:
             kv_offset = 0
 
-        if cache is not None and seq == 1 and attn_mask is None:
-            # Decode fast path: the single query is the newest position,
-            # so causality admits every retained key, and the rolling
-            # window trim (or an explicit length check) guarantees no
-            # key is older than the window.  The mask would be all
-            # zeros — skip building it.
-            if (
-                self.sliding_window is None
-                or cache.window is not None  # append() already trimmed to window
-                or k.shape[2] <= self.sliding_window
-            ):
-                return self.wo(self._decode_step(q, k, v, batch))
+        mask = self.mask_for(seq, k.shape[2], start, kv_offset, cache, attn_mask)
+        if mask is None:
+            return self.wo(self._decode_step(q, k, v, batch))
 
         if self.n_kv_heads != self.n_heads:
             group = self.n_heads // self.n_kv_heads
@@ -180,14 +246,6 @@ class MultiHeadAttention(Module):
 
         scale = 1.0 / np.sqrt(self.head_dim)
         scores = (q @ k.swapaxes(-1, -2)) * scale  # (B, H, T, T_kv)
-        if attn_mask is not None:
-            mask = attn_mask
-        elif cache is not None:
-            mask = rect_attention_mask(
-                seq, k.shape[2], self.sliding_window, q_offset=start, kv_offset=kv_offset
-            )
-        else:
-            mask = sliding_window_mask(seq, self.sliding_window)
         scores = scores + (mask if isinstance(mask, Tensor) else Tensor(mask))
         weights = softmax(scores, axis=-1)
         weights = self.attn_dropout(weights)

@@ -241,7 +241,8 @@ class ContinuousScheduler:
         if not self.has_work:
             return 0
         was_training = self.model.training
-        self.model.eval()
+        if was_training:  # avoid a full module-tree walk on every step
+            self.model.eval()
         try:
             with no_grad():
                 emitted = self._admit()

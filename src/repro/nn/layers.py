@@ -41,10 +41,30 @@ class Embedding(Module):
         rng = default_rng(rng)
         self.num_embeddings = num_embeddings
         self.dim = dim
-        self.weight = Parameter(rng.normal(0.0, std, size=(num_embeddings, dim)).astype(np.float32))
+        # Draw rows in bounded chunks straight into a float32 table: a
+        # single rng.normal() call materializes a float64 intermediate
+        # twice the table size.  Chunked draws consume the identical bit
+        # stream, so seeded models stay weight-identical.
+        table = np.empty((num_embeddings, dim), dtype=np.float32)
+        rows_per_chunk = max(1, (1 << 20) // max(1, 8 * dim))  # <= ~1 MiB float64 scratch
+        for start in range(0, num_embeddings, rows_per_chunk):
+            stop = min(start + rows_per_chunk, num_embeddings)
+            table[start:stop] = rng.normal(0.0, std, size=(stop - start, dim))
+        self.weight = Parameter(table)
 
     def forward(self, indices: np.ndarray) -> Tensor:
         return embedding(self.weight, indices)
+
+    def project(self, x: Tensor) -> Tensor:
+        """Tied LM head: project hidden states onto the vocabulary.
+
+        ``(..., dim) -> (..., num_embeddings)`` via ``x @ W^T`` with the
+        same table used for lookups.  :class:`~repro.nn.quant.QuantizedEmbedding`
+        implements the identical contract over int8 rows, which is what
+        lets ``quantize_model`` swap the tied embedding/head pair as one
+        unit.
+        """
+        return x @ self.weight.swapaxes(-1, -2)
 
 
 class RMSNorm(Module):

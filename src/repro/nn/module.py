@@ -23,6 +23,36 @@ class Parameter(Tensor):
         super().__init__(data, requires_grad=requires_grad, name=name)
 
 
+class Buffer:
+    """Non-trainable module state of any dtype.
+
+    Unlike :class:`Parameter`, a buffer never participates in autograd
+    and its dtype is preserved verbatim — this is what lets
+    :class:`~repro.nn.quant.QuantizedLinear` keep ``int8`` weights in a
+    ``state_dict`` round-trip, where parameters are always forced to
+    ``float32``.  Buffers are discovered by attribute inspection exactly
+    like parameters and travel through ``state_dict`` /
+    ``load_state_dict`` under the same dotted-path naming.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data):
+        self.data = np.asarray(data)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+
 class Module:
     """Base class for neural network components.
 
@@ -63,6 +93,16 @@ class Module:
     def parameters(self) -> list[Parameter]:
         return [p for _, p in self.named_parameters()]
 
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, Buffer]]:
+        for key, value in vars(self).items():
+            if isinstance(value, Buffer):
+                yield (f"{prefix}{key}", value)
+        for name, child in self.named_children():
+            yield from child.named_buffers(prefix=f"{prefix}{name}.")
+
+    def buffers(self) -> list[Buffer]:
+        return [b for _, b in self.named_buffers()]
+
     def num_parameters(self, trainable_only: bool = False) -> int:
         """Total scalar parameter count."""
         return sum(
@@ -90,24 +130,34 @@ class Module:
     # -- state dict ----------------------------------------------------
 
     def state_dict(self) -> dict[str, np.ndarray]:
-        """Copy of every parameter's data, keyed by dotted path."""
-        return {name: p.data.copy() for name, p in self.named_parameters()}
+        """Copy of every parameter's and buffer's data, keyed by dotted path.
+
+        Parameters are float32 by construction; buffers keep their own
+        dtype (e.g. int8 quantized weights).
+        """
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        state.update({name: b.data.copy() for name, b in self.named_buffers()})
+        return state
 
     def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = True) -> None:
-        """Load parameter values in place.
+        """Load parameter and buffer values in place.
 
         With ``strict=True`` (default) the key sets must match exactly and
-        every shape must agree.
+        every shape must agree.  Parameter values are cast to float32;
+        buffer values are cast to the buffer's existing dtype (so int8
+        quantized weights stay int8 through a round-trip).
         """
-        own = dict(self.named_parameters())
+        own_params = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
         if strict:
-            missing = sorted(set(own) - set(state))
-            unexpected = sorted(set(state) - set(own))
+            own_keys = set(own_params) | set(own_buffers)
+            missing = sorted(own_keys - set(state))
+            unexpected = sorted(set(state) - own_keys)
             if missing or unexpected:
                 raise CheckpointError(
                     f"state dict mismatch: missing={missing}, unexpected={unexpected}"
                 )
-        for name, param in own.items():
+        for name, param in own_params.items():
             if name not in state:
                 continue
             value = np.asarray(state[name], dtype=np.float32)
@@ -116,6 +166,15 @@ class Module:
                     f"shape mismatch for {name}: checkpoint {value.shape} vs model {param.shape}"
                 )
             param.data = value.copy()
+        for name, buffer in own_buffers.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name], dtype=buffer.data.dtype)
+            if value.shape != buffer.data.shape:
+                raise CheckpointError(
+                    f"shape mismatch for {name}: checkpoint {value.shape} vs model {buffer.data.shape}"
+                )
+            buffer.data = value.copy()
         self.bump_weight_version()
 
     # -- call ----------------------------------------------------------

@@ -1,0 +1,374 @@
+"""Int8 weight-only quantization and the fused raw-numpy inference path.
+
+Two tightly coupled pieces live here:
+
+* :class:`QuantizedLinear` / :class:`QuantizedEmbedding` — weight-only
+  int8 storage with **symmetric per-output-channel float32 scales**
+  (``scale[o] = max|W[o, :]| / 127``), cutting weight memory ~4x.  The
+  forward computes ``x @ W_q^T * scale``: numpy promotes the int8
+  operand to float32 inside the matmul, so the dequantization is folded
+  into the accumulator and **no float copy of the weight is ever
+  materialized on the hot path**.  Quantization is inference-only —
+  driving a quantized layer from a gradient-recording graph raises
+  :class:`~repro.errors.QuantizationError`.
+
+* :func:`quantize_model` — a compile pass that walks a ``Module`` tree
+  swapping eligible layers for their quantized twins, then switches the
+  model's forward onto a **fused raw-numpy kernel**
+  (:func:`infer_logits_np`): one Python call per forward instead of one
+  autograd ``Tensor`` per op, with attention collapsed into the single
+  einsum-style kernel :func:`repro.nn.attention.fused_attention`.  The
+  pass must run **after** :func:`repro.lora.merge_lora` (unmerged
+  adapters are refused), bumps ``weight_version`` so
+  :meth:`~repro.nn.cache.PrefixCache.sync` invalidates stale KV/logit
+  entries, and the resulting model round-trips through
+  ``state_dict()/load_state_dict()`` (int8 buffers keep their dtype),
+  which is what the cluster's stage->drain->swap rolling deploys need.
+
+Float models are untouched: training, backward, and the float serving
+path run exactly the code they ran before this module existed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.tensor import Tensor, is_grad_enabled
+from repro.nn.attention import MultiHeadAttention, fused_attention
+from repro.nn.layers import Embedding, Linear, RMSNorm
+from repro.nn.mlp import SwiGLU
+from repro.nn.module import Buffer, Module, ModuleList, Parameter
+
+#: Attribute names swapped by default: attention q/k/v/o projections,
+#: the SwiGLU gate/up/down projections, and an untied LM head.  The
+#: classifier ``head`` is opt-in via ``quantize_head=True``.
+DEFAULT_TARGETS = frozenset({"wq", "wk", "wv", "wo", "w1", "w2", "w3", "lm_head"})
+
+_QMAX = 127.0
+
+
+def quantize_weight(weight: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric per-output-channel int8 quantization of ``(out, in)`` weights.
+
+    Returns ``(w_q, scale)`` with ``w_q`` int8 and ``scale`` float32 of
+    shape ``(out,)`` such that ``w_q[o, :] * scale[o] ~= W[o, :]`` with
+    per-element error at most ``scale[o] / 2`` (round-to-nearest).
+    All-zero rows get scale 1.0 so dequantization stays exact.
+    """
+    w = np.asarray(weight, dtype=np.float32)
+    if w.ndim != 2:
+        raise QuantizationError(f"expected a 2-D weight, got shape {w.shape}")
+    absmax = np.abs(w).max(axis=1)
+    scale = np.where(absmax > 0, absmax / np.float32(_QMAX), np.float32(1.0)).astype(np.float32)
+    w_q = np.clip(np.rint(w / scale[:, None]), -_QMAX, _QMAX).astype(np.int8)
+    return w_q, scale
+
+
+def _guard_inference_only(x, what: str) -> None:
+    if is_grad_enabled() and getattr(x, "requires_grad", False):
+        raise QuantizationError(
+            f"{what} is inference-only: it stores int8 weights with no backward. "
+            "Run under no_grad() (generation/scoring already does), or keep a "
+            "float model for training."
+        )
+
+
+class QuantizedLinear(Module):
+    """Weight-only int8 linear layer: ``y = (x @ W_q^T) * scale + b``.
+
+    ``weight_q`` (int8) and ``scale`` (float32) are :class:`Buffer`\\ s,
+    so ``state_dict`` round-trips preserve their dtypes.  The bias, when
+    present, stays float32 (its memory is negligible and biases are
+    precision-sensitive).
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = False):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight_q = Buffer(np.zeros((out_features, in_features), dtype=np.int8))
+        self.scale = Buffer(np.ones(out_features, dtype=np.float32))
+        if bias:
+            self.bias = Parameter(np.zeros(out_features, dtype=np.float32), requires_grad=False)
+        else:
+            self.bias = None
+
+    @classmethod
+    def from_linear(cls, linear: Linear) -> "QuantizedLinear":
+        q = cls(linear.in_features, linear.out_features, bias=linear.bias is not None)
+        w_q, scale = quantize_weight(linear.weight.data)
+        q.weight_q.data = w_q
+        q.scale.data = scale
+        if linear.bias is not None:
+            q.bias.data = linear.bias.data.copy()
+        return q
+
+    def matmul_np(self, x: np.ndarray) -> np.ndarray:
+        # float32 @ int8 promotes inside the gufunc: the accumulator is
+        # float32 and no dequantized weight copy is ever materialized.
+        # Leading dims are flattened first — a single 2-D GEMM is
+        # substantially faster than a batched 3-D matmul at decode shapes.
+        lead = x.shape[:-1]
+        out = np.matmul(x.reshape(-1, x.shape[-1]), self.weight_q.data.T)
+        out *= self.scale.data
+        if self.bias is not None:
+            out += self.bias.data
+        return out.reshape(*lead, self.out_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        _guard_inference_only(x, "QuantizedLinear")
+        return Tensor(self.matmul_np(x.data))
+
+
+class QuantizedEmbedding(Module):
+    """Int8 token-embedding table with per-row scales.
+
+    Implements both directions of a tied embedding/head pair: row
+    lookups (:meth:`forward`) dequantize only the gathered rows, and
+    :meth:`project` maps hidden states onto the vocabulary with the same
+    folded-dequant matmul as :class:`QuantizedLinear` — which is why
+    ``quantize_model`` can swap a tied ``tok_embed`` as one unit.
+    """
+
+    def __init__(self, num_embeddings: int, dim: int):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight_q = Buffer(np.zeros((num_embeddings, dim), dtype=np.int8))
+        self.scale = Buffer(np.ones(num_embeddings, dtype=np.float32))
+
+    @classmethod
+    def from_embedding(cls, emb: Embedding) -> "QuantizedEmbedding":
+        q = cls(emb.num_embeddings, emb.dim)
+        w_q, scale = quantize_weight(emb.weight.data)
+        q.weight_q.data = w_q
+        q.scale.data = scale
+        return q
+
+    def lookup_np(self, indices) -> np.ndarray:
+        idx = np.asarray(indices)
+        rows = self.weight_q.data[idx].astype(np.float32)
+        rows *= self.scale.data[idx][..., None]
+        return rows
+
+    def forward(self, indices) -> Tensor:
+        return Tensor(self.lookup_np(indices))
+
+    def project_np(self, x: np.ndarray) -> np.ndarray:
+        lead = x.shape[:-1]
+        out = np.matmul(x.reshape(-1, x.shape[-1]), self.weight_q.data.T)
+        out *= self.scale.data
+        return out.reshape(*lead, self.num_embeddings)
+
+    def project(self, x: Tensor) -> Tensor:
+        _guard_inference_only(x, "QuantizedEmbedding")
+        return Tensor(self.project_np(x.data))
+
+
+# ----------------------------------------------------------------------
+# The compile pass
+# ----------------------------------------------------------------------
+
+
+def _iter_modules(root: Module):
+    stack = [root]
+    seen: set[int] = set()
+    while stack:
+        current = stack.pop()
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        yield current
+        for value in vars(current).values():
+            if isinstance(value, Module):
+                stack.append(value)
+            elif isinstance(value, ModuleList):
+                stack.extend(list(value))
+
+
+def quantize_model(
+    model: Module,
+    dtype: str = "int8",
+    quantize_embeddings: bool = True,
+    quantize_head: bool = False,
+    targets=None,
+) -> Module:
+    """Swap eligible layers for int8 twins and fuse the inference path.
+
+    Walks the module tree replacing every :class:`~repro.nn.Linear`
+    whose attribute name is in ``targets`` (default:
+    attention q/k/v/o + SwiGLU w1/w2/w3 + ``lm_head``; add the
+    classifier ``head`` with ``quantize_head=True``) with a
+    :class:`QuantizedLinear`, and — when ``quantize_embeddings`` —
+    every :class:`~repro.nn.Embedding` with a
+    :class:`QuantizedEmbedding`.  Merged LoRA wrappers at target names
+    are collapsed onto their (already merged) base weight; **unmerged**
+    adapters raise, because quantizing would silently drop the adapter
+    delta: call :func:`repro.lora.merge_lora` first.
+
+    Every :class:`~repro.nn.MistralTiny` in the tree is then switched
+    onto the fused raw-numpy kernel (:func:`infer_logits_np`), the model
+    is put in eval mode, and ``weight_version`` is bumped exactly once
+    so :meth:`PrefixCache.sync` flushes KV/logit entries computed under
+    float weights.
+
+    The pass mutates ``model`` in place and returns it.
+    """
+    if dtype != "int8":
+        raise QuantizationError(f"unsupported quantization dtype {dtype!r}; only 'int8' is implemented")
+    from repro.lora.adapter import LoRALinear  # local import: repro.lora imports repro.nn
+
+    for module in _iter_modules(model):
+        if isinstance(module, LoRALinear) and not module.merged:
+            raise QuantizationError(
+                "quantize_model must run after LoRA merge: found an unmerged "
+                "LoRALinear (its low-rank delta would be dropped). Call "
+                "repro.lora.merge_lora(model) first."
+            )
+
+    target_names = set(DEFAULT_TARGETS if targets is None else targets)
+    if quantize_head:
+        target_names.add("head")
+
+    replaced = 0
+    for module in list(_iter_modules(model)):
+        for key, value in list(vars(module).items()):
+            if isinstance(value, LoRALinear) and key in target_names:
+                setattr(module, key, QuantizedLinear.from_linear(value.base))
+                replaced += 1
+            elif isinstance(value, Linear) and key in target_names:
+                setattr(module, key, QuantizedLinear.from_linear(value))
+                replaced += 1
+            elif isinstance(value, Embedding) and quantize_embeddings:
+                setattr(module, key, QuantizedEmbedding.from_embedding(value))
+                replaced += 1
+    if replaced == 0:
+        raise QuantizationError(
+            f"quantize_model found no eligible layers (targets={sorted(target_names)})"
+        )
+
+    from repro.nn.transformer import MistralTiny  # local import: avoid cycle at module load
+
+    for module in _iter_modules(model):
+        if isinstance(module, MistralTiny):
+            module._inference_kernel = infer_logits_np
+    model.eval()
+    model.bump_weight_version()
+    return model
+
+
+def is_quantized(model: Module) -> bool:
+    """Whether any layer in the tree is an int8 quantized layer."""
+    return any(
+        isinstance(m, (QuantizedLinear, QuantizedEmbedding)) for m in _iter_modules(model)
+    )
+
+
+def weight_bytes(model: Module) -> int:
+    """Resident bytes of all weights: float parameters plus int8 buffers.
+
+    This is the number the ~4x quantization claim is about — KV caches
+    and activations are accounted separately.
+    """
+    return sum(p.data.nbytes for _, p in model.named_parameters()) + sum(
+        b.data.nbytes for _, b in model.named_buffers()
+    )
+
+
+# ----------------------------------------------------------------------
+# Fused raw-numpy inference kernel
+# ----------------------------------------------------------------------
+#
+# One Python frame per layer instead of one autograd Tensor per op.
+# Numerics deliberately mirror the Tensor path op for op (same reduction
+# orders), so a float layer evaluated through this kernel matches the
+# autograd forward to ~1 ulp — the only reassociation is the attention
+# scale, which the fused kernel folds into q before QK^T (exactly like
+# the existing _decode_step fast path) instead of scaling the scores.
+
+
+def linear_np(layer, x: np.ndarray) -> np.ndarray:
+    """Raw forward for Linear / QuantizedLinear / merged LoRALinear."""
+    if isinstance(layer, QuantizedLinear):
+        return layer.matmul_np(x)
+    if isinstance(layer, Linear):
+        lead = x.shape[:-1]
+        out = np.matmul(x.reshape(-1, x.shape[-1]), layer.weight.data.T)
+        if layer.bias is not None:
+            out += layer.bias.data
+        return out.reshape(*lead, layer.out_features)
+    base = getattr(layer, "base", None)
+    if base is not None and getattr(layer, "merged", False):
+        return linear_np(base, x)
+    raise QuantizationError(
+        f"fused inference path cannot evaluate layer type {type(layer).__name__}"
+    )
+
+
+def _rmsnorm_np(norm: RMSNorm, x: np.ndarray) -> np.ndarray:
+    ms = (x * x).sum(axis=-1, keepdims=True)
+    ms /= x.shape[-1]  # same bits as np.mean, less call overhead
+    inv = (ms + norm.eps) ** -0.5
+    return x * inv * norm.weight.data
+
+
+def _swiglu_np(ffn: SwiGLU, x: np.ndarray) -> np.ndarray:
+    gate = linear_np(ffn.w1, x)
+    sig = 1.0 / (1.0 + np.exp(-gate))
+    gate *= sig
+    gate *= linear_np(ffn.w3, x)
+    return linear_np(ffn.w2, gate)
+
+
+def _attention_np(attn: MultiHeadAttention, x: np.ndarray, cache, positions, attn_mask):
+    batch, seq, _ = x.shape
+    start = cache.next_position if cache is not None else 0
+    q = linear_np(attn.wq, x).reshape(batch, seq, attn.n_heads, attn.head_dim).transpose(0, 2, 1, 3)
+    k = linear_np(attn.wk, x).reshape(batch, seq, attn.n_kv_heads, attn.head_dim).transpose(0, 2, 1, 3)
+    v = linear_np(attn.wv, x).reshape(batch, seq, attn.n_kv_heads, attn.head_dim).transpose(0, 2, 1, 3)
+    if positions is None:
+        positions = np.arange(start, start + seq)
+    q = attn.rope.apply_np(q, positions)
+    k = attn.rope.apply_np(k, positions)
+    if cache is not None:
+        k, v = cache.append(k, v)
+        kv_offset = cache.offset
+    else:
+        kv_offset = 0
+    mask = attn.mask_for(seq, k.shape[2], start, kv_offset, cache, attn_mask)
+    if isinstance(mask, Tensor):
+        mask = mask.data
+    out = fused_attention(q, k, v, attn.n_kv_heads, mask)
+    return linear_np(attn.wo, out)
+
+
+def _block_np(block, x: np.ndarray, cache, positions, attn_mask) -> np.ndarray:
+    x = x + _attention_np(block.attn, _rmsnorm_np(block.attn_norm, x), cache, positions, attn_mask)
+    return x + _swiglu_np(block.ffn, _rmsnorm_np(block.ffn_norm, x))
+
+
+def infer_logits_np(model, token_ids: np.ndarray, cache=None, positions=None, attn_mask=None):
+    """Fused no-graph forward for a (quantized) :class:`MistralTiny`.
+
+    Installed by :func:`quantize_model` as ``model._inference_kernel``;
+    :meth:`MistralTiny.forward` dispatches here whenever gradients are
+    off and the model is in eval mode, so ``generate``,
+    ``generate_batch`` and the :class:`ContinuousScheduler` all share
+    this path without changes.  Returns raw ``(B, T, vocab)`` logits.
+    """
+    if isinstance(attn_mask, Tensor):
+        attn_mask = attn_mask.data
+    embed = model.tok_embed
+    if isinstance(embed, QuantizedEmbedding):
+        x = embed.lookup_np(token_ids)
+    else:
+        x = embed.weight.data[token_ids]
+    for i, block in enumerate(model.blocks):
+        x = _block_np(block, x, cache[i] if cache is not None else None, positions, attn_mask)
+    x = _rmsnorm_np(model.final_norm, x)
+    if model.lm_head is not None:
+        return linear_np(model.lm_head, x)
+    if isinstance(embed, QuantizedEmbedding):
+        return embed.project_np(x)
+    return np.matmul(x, embed.weight.data.swapaxes(-1, -2))

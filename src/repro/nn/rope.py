@@ -36,6 +36,29 @@ class RotaryEmbedding:
         self._cos = np.cos(angles).astype(np.float32)  # (max_seq_len, half)
         self._sin = np.sin(angles).astype(np.float32)
 
+    def cos_sin(self, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Cos/sin tables gathered at ``positions``, broadcast-ready.
+
+        Returns arrays shaped ``(T, half)`` for ``(T,)`` positions or
+        ``(B, 1, T, half)`` for ``(B, T)`` per-row positions, so either
+        broadcasts over a ``(B, H, T, half)`` activation.  Shared by the
+        autograd :meth:`apply` and the fused raw-numpy inference kernel
+        in :mod:`repro.nn.quant`.
+        """
+        positions = np.asarray(positions)
+        if positions.ndim > 2:
+            raise ShapeError(f"positions must be (T,) or (B, T), got shape {positions.shape}")
+        if positions.max(initial=0) >= self.max_seq_len:
+            raise ShapeError(
+                f"position {positions.max()} exceeds RoPE table length {self.max_seq_len}"
+            )
+        cos_table = self._cos[positions]  # (T, half) or (B, T, half)
+        sin_table = self._sin[positions]
+        if positions.ndim == 2:  # broadcast per-row tables over the head axis
+            cos_table = cos_table[:, None, :, :]
+            sin_table = sin_table[:, None, :, :]
+        return cos_table, sin_table
+
     def apply(self, x: Tensor, positions: np.ndarray | None = None) -> Tensor:
         """Rotate ``x`` of shape ``(B, H, T, head_dim)`` by position.
 
@@ -47,19 +70,8 @@ class RotaryEmbedding:
         seq_len = x.shape[-2]
         if positions is None:
             positions = np.arange(seq_len)
-        positions = np.asarray(positions)
-        if positions.ndim > 2:
-            raise ShapeError(f"positions must be (T,) or (B, T), got shape {positions.shape}")
-        if positions.max(initial=0) >= self.max_seq_len:
-            raise ShapeError(
-                f"position {positions.max()} exceeds RoPE table length {self.max_seq_len}"
-            )
+        cos_table, sin_table = self.cos_sin(positions)
         half = self.head_dim // 2
-        cos_table = self._cos[positions]  # (T, half) or (B, T, half)
-        sin_table = self._sin[positions]
-        if positions.ndim == 2:  # broadcast per-row tables over the head axis
-            cos_table = cos_table[:, None, :, :]
-            sin_table = sin_table[:, None, :, :]
         cos = Tensor(cos_table)  # broadcasts over (B, H, T, half)
         sin = Tensor(sin_table)
         x1 = x[..., :half]
@@ -67,3 +79,11 @@ class RotaryEmbedding:
         rotated_first = x1 * cos - x2 * sin
         rotated_second = x1 * sin + x2 * cos
         return concat([rotated_first, rotated_second], axis=-1)
+
+    def apply_np(self, x: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Raw-numpy :meth:`apply` for the fused inference path (no graph)."""
+        cos, sin = self.cos_sin(positions)
+        half = self.head_dim // 2
+        x1 = x[..., :half]
+        x2 = x[..., half:]
+        return np.concatenate([x1 * cos - x2 * sin, x1 * sin + x2 * cos], axis=-1)

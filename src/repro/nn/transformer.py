@@ -14,7 +14,7 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from repro.errors import ConfigError, ShapeError
-from repro.tensor import Tensor, cross_entropy
+from repro.tensor import Tensor, cross_entropy, is_grad_enabled
 from repro.tensor.random import default_rng
 from repro.nn.attention import MultiHeadAttention
 from repro.nn.cache import KVCache
@@ -112,6 +112,10 @@ class MistralTiny(Module):
             self.lm_head = None
         else:
             self.lm_head = Linear(config.d_model, config.vocab_size, bias=False, rng=rng)
+        # Set by quantize_model(): a raw-numpy forward used whenever
+        # gradients are off and the model is in eval mode.  None on
+        # float models, which keep the autograd path below unchanged.
+        self._inference_kernel = None
 
     def forward(self, token_ids: np.ndarray, cache=None, positions=None, attn_mask=None) -> Tensor:
         """Logits for ``token_ids``.
@@ -144,6 +148,9 @@ class MistralTiny(Module):
                     f"sequence length {start + token_ids.shape[1]} exceeds max_seq_len "
                     f"{self.config.max_seq_len}"
                 )
+        kernel = self._inference_kernel
+        if kernel is not None and not self.training and not is_grad_enabled():
+            return Tensor(kernel(self, token_ids, cache, positions, attn_mask))
         x = self.embed_dropout(self.tok_embed(token_ids))
         for i, block in enumerate(self.blocks):
             x = block(
@@ -155,7 +162,7 @@ class MistralTiny(Module):
         x = self.final_norm(x)
         if self.lm_head is not None:
             return self.lm_head(x)
-        return x @ self.tok_embed.weight.swapaxes(-1, -2)
+        return self.tok_embed.project(x)
 
     def hidden_states(self, token_ids: np.ndarray) -> Tensor:
         """Final-norm hidden states ``(batch, seq, d_model)`` (no LM head).

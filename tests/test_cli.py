@@ -272,6 +272,41 @@ class TestServeCommand:
         report = capsys.readouterr().out
         assert "generation.continuous.admitted" in report
 
+    def test_quantized_serving_matches_float_decisions(self, model_dir, capsys):
+        code = main([
+            "serve", "--model", str(model_dir), "--replicas", "1",
+            "--synthetic", "6",
+        ])
+        assert code == 0
+        float_out = capsys.readouterr().out
+
+        code = main([
+            "serve", "--model", str(model_dir), "--replicas", "1",
+            "--synthetic", "6", "--quantize", "int8",
+        ])
+        assert code == 0
+        quant_out = capsys.readouterr().out
+        assert "of 6 decisions" in quant_out
+
+        def decisions(out: str) -> list[tuple[str, str]]:
+            # Table rows: User  P(default)  Approved  Replica
+            return [
+                (line.split()[0], line.split()[2])
+                for line in out.splitlines()
+                if line.startswith("user-")
+            ]
+
+        parsed = decisions(quant_out)
+        assert len(parsed) == 6
+        assert parsed == decisions(float_out)
+
+    def test_quantize_rejects_unknown_dtype(self, model_dir, capsys):
+        with pytest.raises(SystemExit):  # argparse choices=("int8",)
+            main([
+                "serve", "--model", str(model_dir), "--synthetic", "2",
+                "--quantize", "fp4",
+            ])
+
     def test_continuous_requires_thread_transport(self, model_dir, capsys):
         code = main([
             "serve", "--model", str(model_dir), "--replicas", "1",

@@ -48,6 +48,32 @@ class TestEmbedding:
         assert np.abs(grad[[1, 3]]).sum() > 0
         np.testing.assert_allclose(grad[[0, 2, 4]], 0.0)
 
+    def test_init_is_float32(self):
+        emb = Embedding(10, 4, rng=0)
+        assert emb.weight.data.dtype == np.float32
+
+    def test_chunked_init_matches_single_draw_stream(self):
+        """Chunked table fill consumes the exact RNG stream a single
+        ``rng.normal(size=(n, dim))`` call would — seeded inits (and every
+        downstream golden test) are unchanged by the float64-scratch fix."""
+        ref = (
+            np.random.default_rng(42)
+            .normal(0.0, 0.02, size=(50, 16))
+            .astype(np.float32)
+        )
+        emb = Embedding(50, 16, rng=np.random.default_rng(42))
+        np.testing.assert_array_equal(emb.weight.data, ref)
+
+        # Large enough that the fill spans multiple chunks (rows_per_chunk
+        # bounds the float64 scratch to ~1 MiB).
+        big_ref = (
+            np.random.default_rng(7)
+            .normal(0.0, 0.02, size=(300, 512))
+            .astype(np.float32)
+        )
+        big = Embedding(300, 512, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(big.weight.data, big_ref)
+
 
 class TestNorms:
     def test_rmsnorm_unit_rms(self):

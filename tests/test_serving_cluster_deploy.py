@@ -128,3 +128,67 @@ class TestGoldenRollingDeploy:
         assert len(set(after.values())) == 1
         assert after[0] == before[0] + 1
         cluster.stop()
+
+
+class TestQuantizedReplicas:
+    def test_int8_replicas_match_float_decisions(self, deploy_setup):
+        """int8 replicas serve the same approvals as the float cluster."""
+        zigong, _, _, texts = deploy_setup
+        requests = [ScoreRequest(f"u{i}", t) for i, t in enumerate(texts)]
+
+        float_cluster = ClusterSupervisor(
+            zigong_replica_factory(zigong, threshold=0.5),
+            ClusterConfig(replicas=2, max_batch_size=4),
+        )
+        float_cluster.launch()
+        float_results = float_cluster.serve(requests)
+        float_cluster.stop()
+
+        quant_cluster = ClusterSupervisor(
+            zigong_replica_factory(zigong, threshold=0.5, quantize="int8"),
+            ClusterConfig(replicas=2, max_batch_size=4),
+        )
+        quant_cluster.launch()
+        quant_results = quant_cluster.serve(requests)
+        quant_cluster.stop()
+
+        assert [r.approved for r in quant_results] == [
+            r.approved for r in float_results
+        ]
+        for f, q in zip(float_results, quant_results):
+            assert q.score == pytest.approx(f.score, abs=0.05)
+
+    def test_invalid_quantize_mode_raises(self, deploy_setup):
+        from repro.errors import ConfigError
+
+        zigong = deploy_setup[0]
+        with pytest.raises(ConfigError):
+            zigong_replica_factory(zigong, quantize="fp4")
+
+    def test_quantized_state_deploys_onto_quantized_replicas(self, deploy_setup):
+        """stage->drain->swap works when replicas AND payload are int8."""
+        from repro.serving import zigong_quantized_state
+
+        zigong, _, _, texts = deploy_setup
+        staged = zigong_quantized_state(zigong)
+        assert any(
+            getattr(v, "dtype", None) == "int8" or str(getattr(v, "dtype", "")) == "int8"
+            for v in staged.values()
+        )
+
+        cluster = ClusterSupervisor(
+            zigong_replica_factory(zigong, quantize="int8"),
+            ClusterConfig(replicas=2, max_batch_size=4),
+        )
+        cluster.launch()
+        before = cluster.weight_versions()
+        swapped = cluster.deploy(staged)
+        assert swapped == 2
+        after = cluster.weight_versions()
+        assert all(after[i] == before[i] + 1 for i in after)
+
+        requests = [ScoreRequest(f"u{i}", t) for i, t in enumerate(texts)]
+        results = cluster.serve(requests)
+        assert len(results) == len(requests)
+        assert all(0.0 <= r.score <= 1.0 for r in results)
+        cluster.stop()
