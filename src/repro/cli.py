@@ -7,6 +7,7 @@ Subcommands::
     python -m repro train --data d.jsonl --out model/
     python -m repro evaluate --model model/ --data test.jsonl
     python -m repro pipeline --dataset german        # full prune+mix+tune
+    python -m repro pipeline run --events run.jsonl  # online learning loop
     python -m repro influence --data d.jsonl --estimator datainf --top-k 5
     python -m repro table3                           # config table
     python -m repro obs report --events run.jsonl    # summarize a recorded run
@@ -172,6 +173,122 @@ def cmd_pipeline(args) -> int:
     if args.out:
         result.zigong.save(args.out)
         print(f"model saved to {args.out}")
+    return 0
+
+
+def cmd_pipeline_run(args) -> int:
+    """Drive the online drift→retrain→shadow→promote loop on synthetic traffic."""
+    import tempfile
+    import time as _time
+
+    import numpy as np
+
+    from repro.data import build_behavior_examples
+    from repro.data.templates import CLASSIFICATION_TEMPLATE
+    from repro.datasets import make_behavior
+    from repro.obs import Observability, get_observability
+    from repro.pipeline import OnlineConfig, OnlinePipeline, PromotionGate
+    from repro.serving import ClusterConfig, ScoreRequest
+    from repro.serving.behavior_card import DEFAULT_QUESTION
+
+    obs = Observability.create(events_path=args.events) if args.events else get_observability()
+
+    dataset = make_behavior(n_users=args.users, n_periods=args.periods, seed=args.seed)
+    examples = build_behavior_examples(dataset)
+    split = len(examples) // 2
+    print(f"training the deployed model on {split} of {len(examples)} behavior examples ...")
+    zigong = ZiGong.from_examples(examples, config=_zigong_config(args))
+    zigong.apply_lora()
+    zigong.finetune(examples[:split])
+
+    traffic = [
+        ScoreRequest(f"user-{user:04d}-p{period}", dataset.row_text(user, period))
+        for user in range(dataset.n_users)
+        for period in range(dataset.n_periods)
+    ]
+    prompts = [
+        CLASSIFICATION_TEMPLATE.format(sentence=r.behavior_text, question=DEFAULT_QUESTION)
+        for r in traffic[:32]
+    ]
+    calibration = np.asarray(zigong.score_batch(prompts, "yes", "no"))
+    if args.no_drift:
+        reference = calibration
+    else:
+        # Seeded synthetic drift: anchor the reference half a unit away
+        # from the live score mass so PSI trips once the window fills.
+        reference = (calibration + 0.5) % 1.0
+
+    work_dir = args.work_dir or tempfile.mkdtemp(prefix="repro-online-")
+    config = OnlineConfig(
+        drift_window=max(48, 4 * args.batch),
+        min_observations=max(16, 2 * args.batch),
+        n_bins=8,
+        keep_fraction=args.keep_fraction,
+        influence_strategy=args.estimator,
+        retrain_epochs=args.retrain_epochs,
+        shadow_requests=args.shadow_requests,
+        shadow_window=max(32, 3 * args.shadow_requests),
+        gate=PromotionGate(
+            min_shadow_requests=max(1, args.shadow_requests),
+            min_agreement=args.min_agreement,
+            max_accuracy_drop=None,
+            max_miss_increase=None,
+        ),
+        seed=args.seed,
+    )
+    pipeline = OnlinePipeline.for_zigong(
+        zigong,
+        reference_scores=reference,
+        work_dir=work_dir,
+        config=config,
+        cluster_config=ClusterConfig(replicas=args.replicas),
+        obs=obs,
+    )
+    pipeline.ingest(examples[split:])
+
+    start = _time.perf_counter()
+    served = 0
+    ticks = 0
+    cursor = 0
+    for ticks in range(1, args.max_ticks + 1):
+        requests = [traffic[(cursor + j) % len(traffic)] for j in range(args.batch)]
+        cursor += args.batch
+        served += len(pipeline.tick(requests))
+        if pipeline.state.promotions or pipeline.state.rollbacks:
+            break
+    elapsed = _time.perf_counter() - start
+
+    state = pipeline.state
+    rows = [
+        ["phase", state.phase],
+        ["rounds (drift trips)", state.round],
+        ["PSI at last trip", "-" if state.drift_psi is None else f"{state.drift_psi:.3f}"],
+        ["promotions", state.promotions],
+        ["rollbacks", state.rollbacks],
+        ["gate failures", state.gate_failures],
+        ["requests served", served],
+        ["ticks", ticks],
+        ["wall clock", f"{elapsed:.2f}s"],
+        ["work dir", work_dir],
+    ]
+    if pipeline.last_gate is not None:
+        verdict = "passed" if pipeline.last_gate.passed else "failed"
+        detail = "; ".join(pipeline.last_gate.reasons) or (
+            f"agreement {pipeline.last_gate.metrics.get('agreement_rate', float('nan')):.3f}"
+        )
+        rows.append(["last gate", f"{verdict} ({detail})"])
+    print(format_table(["Metric", "Value"], rows, title="repro pipeline run: online learning loop"))
+    if state.promotions:
+        print("\ndrift -> retrain -> shadow -> promote completed; "
+              "the cluster now serves the retrained weights.")
+    elif state.rollbacks:
+        print("\npromotion rolled back; the cluster serves the prior weights.")
+    else:
+        print(f"\nno promotion within {args.max_ticks} ticks (phase: {state.phase}).")
+    if args.events:
+        obs.events.emit_metrics(obs.metrics)
+        obs.events.close()
+        print(f"events written to {args.events}; inspect with: repro obs report --events {args.events}")
     return 0
 
 
@@ -399,7 +516,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--data", required=True)
     p.set_defaults(fn=cmd_evaluate)
 
-    p = sub.add_parser("pipeline", help="run the full prune + mix + fine-tune pipeline")
+    p = sub.add_parser(
+        "pipeline",
+        help="data pipelines: prune + mix + fine-tune (default) or the online loop",
+    )
+    pipe_sub = p.add_subparsers(dest="pipeline_command", required=False)
+    run = pipe_sub.add_parser(
+        "run",
+        help="online learning daemon: drift -> retrain -> shadow -> promote",
+    )
+    run.add_argument("--users", type=int, default=24, help="synthetic behavior users")
+    run.add_argument("--periods", type=int, default=4, help="periods per user")
+    run.add_argument("--replicas", type=int, default=2)
+    run.add_argument("--batch", type=int, default=8, help="score requests per tick")
+    run.add_argument("--max-ticks", type=int, default=60)
+    run.add_argument("--epochs", type=int, default=2, help="base fine-tune epochs")
+    run.add_argument("--retrain-epochs", type=int, default=1)
+    run.add_argument("--estimator", default="agent",
+                     help="influence filter for the retrain set "
+                     "(tracin/tracseq/datainf/agent/combined/ppl/random)")
+    run.add_argument("--keep-fraction", type=float, default=0.7)
+    run.add_argument("--shadow-requests", type=int, default=12,
+                     help="shadow comparisons collected before the gate decides")
+    run.add_argument("--min-agreement", type=float, default=0.0)
+    run.add_argument("--no-drift", action="store_true",
+                     help="calibrate the reference on live scores (loop stays in monitor)")
+    run.add_argument("--work-dir", default=None,
+                     help="pipeline state directory (default: a fresh temp dir); "
+                     "rerunning over an existing one resumes the persisted phase")
+    run.add_argument("--lr", type=float, default=5e-3)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--preset", choices=("test", "bench"), default="test")
+    run.add_argument("--events", default=None,
+                     help="record obs events to this jsonl (view: repro obs report)")
+    run.set_defaults(fn=cmd_pipeline_run)
+
     p.add_argument("--dataset", default="german")
     p.add_argument("--n", type=int, default=400)
     p.add_argument("--estimator", default=None,

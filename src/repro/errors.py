@@ -71,6 +71,11 @@ class CircuitOpenError(ResilienceError):
     """
 
 
+class PipelineError(ReproError):
+    """Online-learning pipeline failure (state corruption, failed promote
+    verification, unusable work directory)."""
+
+
 class InjectedFault(ReproError):
     """The default exception raised at an armed fault point.
 

@@ -24,13 +24,23 @@ from repro.errors import EvaluationError
 
 @dataclass(frozen=True)
 class FairnessReport:
-    """Group metrics for a binary decision over a binary protected attribute."""
+    """Group metrics for a binary decision over a binary protected attribute.
+
+    Rates over unsupported strata (a group with no positives has no TPR;
+    no negatives, no FPR) are ``nan``, and a ``nan`` rate propagates into
+    ``equalized_odds_difference`` — a missing stratum must surface as
+    "unknown", not masquerade as a perfect ``0.0`` gap.
+    """
 
     positive_rate_a: float
     positive_rate_b: float
     demographic_parity_difference: float
     equalized_odds_difference: float
     disparate_impact_ratio: float
+    tpr_a: float = float("nan")
+    fpr_a: float = float("nan")
+    tpr_b: float = float("nan")
+    fpr_b: float = float("nan")
 
     def passes_four_fifths(self) -> bool:
         """The classic disparate-impact screen (ratio >= 0.8)."""
@@ -38,11 +48,11 @@ class FairnessReport:
 
 
 def _rates(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[float, float]:
-    """(TPR, FPR); NaN-free by construction (caller guarantees support)."""
+    """(TPR, FPR); ``nan`` where the group lacks positives/negatives."""
     pos = y_true == 1
     neg = ~pos
-    tpr = float(y_pred[pos].mean()) if pos.any() else 0.0
-    fpr = float(y_pred[neg].mean()) if neg.any() else 0.0
+    tpr = float(y_pred[pos].mean()) if pos.any() else float("nan")
+    fpr = float(y_pred[neg].mean()) if neg.any() else float("nan")
     return tpr, fpr
 
 
@@ -80,10 +90,19 @@ def fairness_report(
     high = max(rate_a, rate_b)
     ratio = 1.0 if high == 0 else min(rate_a, rate_b) / high
 
+    # Python's max() is order-dependent under nan; propagate explicitly so
+    # a missing stratum always yields an unknown (nan) odds gap.
+    gaps = (abs(tpr_a - tpr_b), abs(fpr_a - fpr_b))
+    odds_gap = float("nan") if any(np.isnan(g) for g in gaps) else max(gaps)
+
     return FairnessReport(
         positive_rate_a=rate_a,
         positive_rate_b=rate_b,
         demographic_parity_difference=abs(rate_a - rate_b),
-        equalized_odds_difference=max(abs(tpr_a - tpr_b), abs(fpr_a - fpr_b)),
+        equalized_odds_difference=odds_gap,
         disparate_impact_ratio=ratio,
+        tpr_a=tpr_a,
+        fpr_a=fpr_a,
+        tpr_b=tpr_b,
+        fpr_b=fpr_b,
     )

@@ -1,0 +1,37 @@
+"""Online learning: the drift → retrain → shadow → promote daemon.
+
+Wires the repo's existing pieces — :class:`~repro.serving.DriftMonitor`,
+influence-filtered selection (:class:`~repro.core.DataPruner`), the
+crash-resumable :class:`~repro.training.Trainer`,
+:class:`~repro.serving.ShadowDeployment`, and the cluster's rolling
+deploy — into one restartable continuous-learning loop.  See
+``docs/online_learning.md`` for the state machine, gate contract, and
+chaos guarantees.
+"""
+
+from repro.pipeline.gate import GateDecision, PromotionGate, evaluate_gate
+from repro.pipeline.online import OnlineConfig, OnlinePipeline
+from repro.pipeline.state import (
+    MONITOR,
+    PHASE_CODES,
+    PHASES,
+    PROMOTE,
+    RETRAIN,
+    SHADOW,
+    PipelineState,
+)
+
+__all__ = [
+    "GateDecision",
+    "MONITOR",
+    "OnlineConfig",
+    "OnlinePipeline",
+    "PHASES",
+    "PHASE_CODES",
+    "PipelineState",
+    "PROMOTE",
+    "PromotionGate",
+    "RETRAIN",
+    "SHADOW",
+    "evaluate_gate",
+]

@@ -1,0 +1,149 @@
+"""Promotion gate: may the shadow candidate replace the live model?
+
+The gate is the contract between "the candidate looks fine in shadow"
+and "the cluster serves it to real applicants".  It judges three kinds
+of evidence, each optional except the shadow window:
+
+* **shadow agreement** — windowed decision-agreement rate between the
+  candidate and the live model, plus (optionally) Pearson correlation of
+  their scores.  A ``nan`` correlation (zero-variance score stream —
+  see :meth:`repro.serving.ShadowDeployment.score_correlation`) is an
+  explicit *failure* when correlation is gated: an undefined signal must
+  never pass a promotion check by accident.
+* **Behavior-Card metric deltas** — accuracy drop and Miss-rate increase
+  of the candidate vs. the deployed baseline on a fixed eval set.
+* **fairness gaps** — demographic-parity and equalized-odds bounds on
+  the candidate's decisions; a ``nan`` odds gap (a protected group with
+  no support, see :func:`repro.eval.fairness.fairness_report`) likewise
+  fails the gate explicitly rather than comparing as "not greater".
+
+A failed gate never raises — it returns a :class:`GateDecision` whose
+``reasons`` say exactly which checks failed, so the pipeline can log the
+decision, discard the candidate, and keep serving.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.eval.fairness import FairnessReport
+    from repro.eval.harness import EvalResult
+    from repro.serving.monitoring import ShadowDeployment
+
+
+@dataclass(frozen=True)
+class PromotionGate:
+    """Thresholds a shadow candidate must clear before promotion.
+
+    ``None`` disables an optional check; the shadow-window checks
+    (``min_shadow_requests``, ``min_agreement``) are always on.
+    """
+
+    min_shadow_requests: int = 16
+    min_agreement: float = 0.8
+    min_correlation: float | None = None
+    max_accuracy_drop: float | None = 0.05
+    max_miss_increase: float | None = 0.05
+    max_parity_gap: float | None = None
+    max_odds_gap: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.min_shadow_requests < 1:
+            raise ConfigError("min_shadow_requests must be at least 1")
+        if not 0.0 <= self.min_agreement <= 1.0:
+            raise ConfigError(f"min_agreement must be in [0, 1], got {self.min_agreement}")
+
+
+@dataclass(frozen=True)
+class GateDecision:
+    """Outcome of one gate evaluation: verdict, reasons, and evidence."""
+
+    passed: bool
+    reasons: tuple[str, ...] = ()
+    metrics: Mapping[str, float] = field(default_factory=dict)
+
+
+def evaluate_gate(
+    gate: PromotionGate,
+    shadow: "ShadowDeployment",
+    baseline_eval: "EvalResult | None" = None,
+    candidate_eval: "EvalResult | None" = None,
+    candidate_fairness: "FairnessReport | None" = None,
+) -> GateDecision:
+    """Judge a shadow candidate against the gate's thresholds.
+
+    Evidence that was not collected (no eval set, no fairness groups) is
+    simply not judged; evidence that was collected but is *undefined*
+    (nan correlation, nan odds gap) fails its check explicitly.
+    """
+    reasons: list[str] = []
+    metrics: dict[str, float] = {}
+
+    n = shadow.n_window
+    metrics["shadow_requests"] = float(n)
+    metrics["shadow_errors"] = float(shadow.n_shadow_errors)
+    if n < gate.min_shadow_requests:
+        reasons.append(
+            f"only {n} paired shadow requests in window "
+            f"(need >= {gate.min_shadow_requests})"
+        )
+    else:
+        agreement = shadow.agreement_rate()
+        metrics["agreement_rate"] = agreement
+        if agreement < gate.min_agreement:
+            reasons.append(
+                f"shadow agreement {agreement:.3f} below {gate.min_agreement:.3f}"
+            )
+        if gate.min_correlation is not None:
+            correlation = shadow.score_correlation()
+            metrics["score_correlation"] = correlation
+            if math.isnan(correlation):
+                reasons.append(
+                    "score correlation is undefined (zero-variance score stream); "
+                    "refusing to promote on an undefined signal"
+                )
+            elif correlation < gate.min_correlation:
+                reasons.append(
+                    f"score correlation {correlation:.3f} below {gate.min_correlation:.3f}"
+                )
+
+    if baseline_eval is not None and candidate_eval is not None:
+        accuracy_drop = baseline_eval.accuracy - candidate_eval.accuracy
+        miss_increase = candidate_eval.miss - baseline_eval.miss
+        metrics["accuracy_drop"] = accuracy_drop
+        metrics["miss_increase"] = miss_increase
+        if gate.max_accuracy_drop is not None and accuracy_drop > gate.max_accuracy_drop:
+            reasons.append(
+                f"accuracy drop {accuracy_drop:.3f} exceeds {gate.max_accuracy_drop:.3f}"
+            )
+        if gate.max_miss_increase is not None and miss_increase > gate.max_miss_increase:
+            reasons.append(
+                f"miss-rate increase {miss_increase:.3f} exceeds {gate.max_miss_increase:.3f}"
+            )
+
+    if candidate_fairness is not None:
+        parity_gap = candidate_fairness.demographic_parity_difference
+        odds_gap = candidate_fairness.equalized_odds_difference
+        metrics["parity_gap"] = parity_gap
+        metrics["odds_gap"] = odds_gap
+        if gate.max_parity_gap is not None and parity_gap > gate.max_parity_gap:
+            reasons.append(
+                f"demographic-parity gap {parity_gap:.3f} exceeds {gate.max_parity_gap:.3f}"
+            )
+        if gate.max_odds_gap is not None:
+            if math.isnan(odds_gap):
+                reasons.append(
+                    "equalized-odds gap is undefined (a protected group has no "
+                    "positive or negative support); refusing to promote blind"
+                )
+            elif odds_gap > gate.max_odds_gap:
+                reasons.append(
+                    f"equalized-odds gap {odds_gap:.3f} exceeds {gate.max_odds_gap:.3f}"
+                )
+
+    return GateDecision(passed=not reasons, reasons=tuple(reasons), metrics=metrics)

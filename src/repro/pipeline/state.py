@@ -1,0 +1,95 @@
+"""Persisted state machine for the online-learning pipeline.
+
+The pipeline cycles through four phases::
+
+    MONITOR -> RETRAIN -> SHADOW -> PROMOTE -> MONITOR
+        ^                    |                    |
+        +---- gate failed ---+---- rolled back ---+
+
+Every transition is persisted to ``state.json`` in the pipeline's work
+directory *before* the next phase starts, using the same atomic
+write-then-rename discipline as :class:`repro.training.CheckpointManager`
+— a crash at any point leaves either the old or the new state on disk,
+never a torn file.  A fresh :class:`~repro.pipeline.OnlinePipeline` over
+the same work directory resumes from the persisted phase.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import PipelineError
+
+MONITOR = "monitor"
+RETRAIN = "retrain"
+SHADOW = "shadow"
+PROMOTE = "promote"
+
+PHASES = (MONITOR, RETRAIN, SHADOW, PROMOTE)
+
+# Numeric encoding for the ``pipeline.state`` gauge (dashboards plot
+# numbers, not strings).
+PHASE_CODES = {phase: code for code, phase in enumerate(PHASES)}
+
+_STATE_VERSION = 1
+
+
+@dataclass
+class PipelineState:
+    """Everything a restarted daemon needs to pick up where it crashed.
+
+    ``round`` counts drift trips (retrain attempts), not promotions:
+    a gate failure burns a round.  ``reference_scores`` carries the
+    drift reference across restarts so the monitor re-anchors on the
+    distribution the *deployed* model was approved on, not whatever the
+    constructor was handed.
+    """
+
+    phase: str = MONITOR
+    round: int = 0
+    drift_psi: float | None = None
+    reference_scores: list[float] = field(default_factory=list)
+    shadow_scored: int = 0
+    promotions: int = 0
+    rollbacks: int = 0
+    gate_failures: int = 0
+    resumes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.phase not in PHASES:
+            raise PipelineError(f"unknown pipeline phase {self.phase!r}; expected one of {PHASES}")
+
+    @property
+    def code(self) -> int:
+        """Numeric phase code for the ``pipeline.state`` gauge."""
+        return PHASE_CODES[self.phase]
+
+    def save(self, path: str | Path) -> None:
+        """Atomically persist to ``path`` (write temp, fsync, rename)."""
+        path = Path(path)
+        payload = {"version": _STATE_VERSION, **asdict(self)}
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PipelineState":
+        path = Path(path)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as error:
+            raise PipelineError(f"cannot load pipeline state from {path}: {error}") from error
+        version = payload.pop("version", None)
+        if version != _STATE_VERSION:
+            raise PipelineError(f"unsupported pipeline state version {version!r} in {path}")
+        try:
+            return cls(**payload)
+        except TypeError as error:
+            raise PipelineError(f"malformed pipeline state in {path}: {error}") from error

@@ -38,7 +38,11 @@ def population_stability_index(
     """PSI between a reference (``expected``) and a live (``actual``) sample.
 
     Bins are the deciles of the reference distribution; empty shares are
-    floored at ``epsilon`` so the logarithm stays finite.
+    floored at ``epsilon`` so the logarithm stays finite.  Tied reference
+    scores collapse quantile edges onto each other, so duplicate edges are
+    merged (fewer, wider bins) rather than kept as zero-width bins, and the
+    floored shares are renormalized so both stay probability distributions
+    — guaranteeing ``PSI(x, x) == 0`` exactly, even for constant ``x``.
     """
     expected = np.asarray(expected, dtype=np.float64)
     actual = np.asarray(actual, dtype=np.float64)
@@ -46,11 +50,14 @@ def population_stability_index(
         raise ServingError(
             f"PSI needs at least n_bins={n_bins} reference points and 1 live point"
         )
-    edges = np.quantile(expected, np.linspace(0, 1, n_bins + 1)[1:-1])
-    expected_counts = np.bincount(np.digitize(expected, edges), minlength=n_bins)
-    actual_counts = np.bincount(np.digitize(actual, edges), minlength=n_bins)
+    edges = np.unique(np.quantile(expected, np.linspace(0, 1, n_bins + 1)[1:-1]))
+    n_effective = edges.size + 1
+    expected_counts = np.bincount(np.digitize(expected, edges), minlength=n_effective)
+    actual_counts = np.bincount(np.digitize(actual, edges), minlength=n_effective)
     expected_share = np.maximum(expected_counts / expected.size, epsilon)
     actual_share = np.maximum(actual_counts / actual.size, epsilon)
+    expected_share = expected_share / expected_share.sum()
+    actual_share = actual_share / actual_share.sum()
     return float(((actual_share - expected_share) * np.log(actual_share / expected_share)).sum())
 
 
@@ -142,50 +149,92 @@ class ShadowDeployment:
     """Score live traffic with a candidate model alongside production.
 
     Only the primary's score is returned to callers; the shadow's output
-    is recorded for offline comparison.
+    is recorded for offline comparison.  The shadow is strictly
+    best-effort: a shadow exception is counted (``monitoring.shadow_errors``)
+    and the primary score is served as if the shadow did not exist.
+
+    Comparison records are kept in a count-bounded window (``window`` most
+    recent paired scores) so a long-lived deployment cannot grow without
+    bound; agreement/disagreement statistics are exact over that window,
+    while ``n_requests`` / ``n_shadow_errors`` count all traffic ever seen.
     """
 
-    def __init__(self, primary, shadow, obs: Observability | None = None):
+    def __init__(self, primary, shadow, window: int = 1000,
+                 obs: Observability | None = None):
+        if window <= 0:
+            raise ServingError("window must be positive")
         self.primary = primary
         self.shadow = shadow
-        self._records: list[ShadowRecord] = []
+        self.window = window
+        self._records: deque[ShadowRecord] = deque(maxlen=window)
+        self._total_requests = 0
+        self._total_errors = 0
         self.obs = obs or get_observability()
         self._m_requests = self.obs.metrics.counter("monitoring.shadow_requests")
         self._m_disagreements = self.obs.metrics.counter("monitoring.shadow_disagreements")
+        self._m_errors = self.obs.metrics.counter("monitoring.shadow_errors")
 
     def score(self, prompt: str, positive_text: str = "yes", negative_text: str = "no") -> float:
         primary_score = float(self.primary.score(prompt, positive_text, negative_text))
-        shadow_score = float(self.shadow.score(prompt, positive_text, negative_text))
+        self._total_requests += 1
+        self._m_requests.inc()
+        try:
+            shadow_score = float(self.shadow.score(prompt, positive_text, negative_text))
+        except Exception as error:
+            # A shadow must never take down live scoring: count the failure
+            # and serve the production answer.  No record is kept — window
+            # statistics only cover requests both models actually scored.
+            self._total_errors += 1
+            self._m_errors.inc()
+            self.obs.event("monitoring.shadow_error", error=repr(error))
+            return primary_score
         record = ShadowRecord(prompt, primary_score, shadow_score)
         self._records.append(record)
-        self._m_requests.inc()
         self._m_disagreements.inc(int(record.primary_label != record.shadow_label))
         return primary_score
 
     @property
     def n_requests(self) -> int:
+        """Total requests ever scored (window evictions included)."""
+        return self._total_requests
+
+    @property
+    def n_window(self) -> int:
+        """Paired comparison records currently in the window."""
         return len(self._records)
+
+    @property
+    def n_shadow_errors(self) -> int:
+        """Total shadow-side failures swallowed so far."""
+        return self._total_errors
 
     def records(self) -> list[ShadowRecord]:
         return list(self._records)
 
     def agreement_rate(self) -> float:
-        """Share of requests where both models decide the same label."""
+        """Share of windowed requests where both models decide the same label."""
         if not self._records:
             raise ServingError("no shadow traffic recorded yet")
         same = sum(1 for r in self._records if r.primary_label == r.shadow_label)
         return same / len(self._records)
 
     def score_correlation(self) -> float:
-        """Pearson correlation of the two models' scores."""
+        """Pearson correlation of the two models' windowed scores.
+
+        Returns ``nan`` when either stream has zero variance — Pearson is
+        undefined there, and ``0.0`` would read as "uncorrelated" to a
+        promotion gate.  Callers must handle the degenerate case explicitly.
+        """
         if len(self._records) < 2:
             raise ServingError("need at least two requests for a correlation")
         primary = np.array([r.primary_score for r in self._records])
         shadow = np.array([r.shadow_score for r in self._records])
-        if primary.std() == 0 or shadow.std() == 0:
-            return 0.0
+        # ptp == 0 is the exact constant-stream test; std() of a constant
+        # array can come out as ~1e-17 and slip past an == 0 guard.
+        if np.ptp(primary) == 0 or np.ptp(shadow) == 0:
+            return float("nan")
         return float(np.corrcoef(primary, shadow)[0, 1])
 
     def disagreements(self) -> list[ShadowRecord]:
-        """Requests where the two models decide differently."""
+        """Windowed requests where the two models decide differently."""
         return [r for r in self._records if r.primary_label != r.shadow_label]

@@ -116,6 +116,54 @@ class TestPipelineCommand:
         assert "workers" in capsys.readouterr().err
 
 
+class TestPipelineRunCommand:
+    def test_online_loop_promotes_and_records_events(self, tmp_path, capsys):
+        events = tmp_path / "run.jsonl"
+        code = main([
+            "pipeline", "run", "--users", "16", "--periods", "4",
+            "--max-ticks", "40", "--work-dir", str(tmp_path / "wd"),
+            "--events", str(events),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "online learning loop" in out
+        assert "promotions" in out
+        assert "drift -> retrain -> shadow -> promote completed" in out
+        assert events.exists()
+        # Every phase transition is visible in the recorded obs report.
+        assert main(["obs", "report", "--events", str(events)]) == 0
+        report = capsys.readouterr().out
+        assert "pipeline.transition" in report
+        assert "pipeline.gate" in report
+        assert "pipeline.promotions" in report
+
+    def test_no_drift_stays_in_monitor(self, tmp_path, capsys):
+        code = main([
+            "pipeline", "run", "--users", "12", "--periods", "3",
+            "--max-ticks", "6", "--no-drift",
+            "--work-dir", str(tmp_path / "wd"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no promotion within 6 ticks (phase: monitor)" in out
+
+    def test_legacy_pipeline_invocation_still_parses(self, monkeypatch):
+        """`repro pipeline --dataset german` (no subcommand) is unchanged."""
+        import repro.cli as cli_mod
+
+        captured = {}
+
+        class FakePipeline:
+            def __init__(self, config):
+                captured["config"] = config
+                raise SystemExit(0)
+
+        monkeypatch.setattr(cli_mod, "ZiGongPipeline", FakePipeline)
+        with pytest.raises(SystemExit):
+            main(["pipeline", "--dataset", "german", "--n", "80"])
+        assert "config" in captured
+
+
 class TestInfluenceCommand:
     @pytest.fixture
     def data_path(self, tmp_path):

@@ -81,6 +81,43 @@ class TestFairnessReport:
         assert 0.0 <= report.demographic_parity_difference <= 1.0
 
 
+class TestMissingSupportRates:
+    """Regression: a group with no positives/negatives used to report a
+    silent 0.0 TPR/FPR — a fake "perfect parity" signal.  Missing support
+    must surface as nan, and propagate into the odds gap."""
+
+    def test_no_positives_in_one_group_gives_nan_tpr(self):
+        # Group B is all-negative: its TPR does not exist.
+        report = fairness_report([1, 0, 0, 0], [1, 0, 1, 0], [0, 0, 1, 1])
+        assert report.tpr_a == 1.0
+        assert report.fpr_a == 0.0
+        assert math.isnan(report.tpr_b)
+        assert report.fpr_b == 0.5
+        assert math.isnan(report.equalized_odds_difference)
+
+    def test_no_negatives_in_one_group_gives_nan_fpr(self):
+        report = fairness_report([1, 0, 1, 1], [1, 0, 1, 0], [0, 0, 1, 1])
+        assert math.isnan(report.fpr_b)
+        assert math.isnan(report.equalized_odds_difference)
+
+    def test_nan_propagation_is_order_independent(self):
+        """max() under nan is order-dependent; the report must not be."""
+        flipped = fairness_report([1, 1, 0, 0], [1, 0, 1, 0], [1, 1, 0, 0])
+        assert math.isnan(flipped.equalized_odds_difference)
+
+    def test_full_support_unchanged(self):
+        report = fairness_report([1, 0, 1, 0], [1, 0, 0, 1], [0, 0, 1, 1])
+        assert report.equalized_odds_difference == 1.0
+        assert report.tpr_a == 1.0 and report.fpr_a == 0.0
+        assert report.tpr_b == 0.0 and report.fpr_b == 1.0
+
+    def test_parity_metrics_unaffected_by_missing_support(self):
+        report = fairness_report([1, 1, 0, 0], [0, 0, 0, 0], [0, 0, 1, 1])
+        assert report.demographic_parity_difference == 0.0
+        assert report.disparate_impact_ratio == 1.0
+        assert math.isnan(report.equalized_odds_difference)
+
+
 class TestScorecardScaler:
     def test_base_anchor(self):
         scaler = ScorecardScaler(base_score=600, base_odds=50, pdo=20)

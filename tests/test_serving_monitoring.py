@@ -130,3 +130,157 @@ class TestShadowDeployment:
         shadow.score("abc")
         shadow.records().clear()
         assert shadow.n_requests == 1
+
+
+# ----------------------------------------------------------------------
+# Regression: tied / constant reference distributions (PSI)
+# ----------------------------------------------------------------------
+
+
+class TestPSITiedReferences:
+    def test_identical_inputs_give_exactly_zero(self):
+        """Flooring used to add unnormalized phantom mass: PSI(x, x) > 0."""
+        rng = np.random.default_rng(0)
+        cases = [
+            rng.random(200),
+            np.concatenate([np.full(120, 0.5), rng.random(80)]),  # heavy ties
+            np.full(100, 0.37),  # constant
+            np.repeat([0.1, 0.5, 0.9], 40),  # 3 distinct values, 10 bins
+        ]
+        for x in cases:
+            assert population_stability_index(x, x) == 0.0
+
+    def test_tied_reference_duplicate_edges_deduped(self):
+        """A reference with few distinct values must not produce degenerate
+        zero-width bins; PSI stays finite and order-of-magnitude sane."""
+        ref = np.repeat([0.2, 0.5, 0.8], 50)
+        live = np.repeat([0.2, 0.5, 0.8], 10)
+        assert population_stability_index(ref, live) == 0.0
+        shifted = np.full(30, 0.8)
+        value = population_stability_index(ref, shifted)
+        assert np.isfinite(value)
+        assert value > 0.25  # all mass in one of three bins: real drift
+
+    def test_constant_reference_pinned(self):
+        """Pinned behavior on a constant reference: identical constant live
+        scores are stable; live mass below the constant is loud drift."""
+        ref = np.full(100, 0.5)
+        assert population_stability_index(ref, np.full(20, 0.5)) == 0.0
+        below = population_stability_index(ref, np.full(20, 0.1))
+        assert below > 1.0
+        assert np.isfinite(below)
+
+    def test_permutation_invariant(self):
+        rng = np.random.default_rng(3)
+        ref = np.concatenate([np.full(80, 0.4), rng.random(120)])
+        live = rng.permutation(ref)
+        assert population_stability_index(ref, live) == pytest.approx(0.0, abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Regression: shadow failures must never fail the production request
+# ----------------------------------------------------------------------
+
+
+class _ExplodingStub:
+    def __init__(self, fail_times=None):
+        self.calls = 0
+        self.fail_times = fail_times
+
+    def score(self, prompt, positive, negative):
+        self.calls += 1
+        if self.fail_times is None or self.calls <= self.fail_times:
+            raise RuntimeError("shadow model OOM")
+        return 0.9
+
+
+class TestShadowErrorContainment:
+    def test_shadow_exception_serves_primary(self):
+        shadow = ShadowDeployment(_ScoreStub(0.0), _ExplodingStub())
+        assert shadow.score("abcd") == pytest.approx(0.4)
+        assert shadow.n_requests == 1
+        assert shadow.n_shadow_errors == 1
+        assert shadow.n_window == 0  # no half-scored comparison record
+
+    def test_errors_counted_in_metrics(self):
+        from repro.obs import Observability
+
+        obs = Observability.create()
+        shadow = ShadowDeployment(_ScoreStub(0.0), _ExplodingStub(), obs=obs)
+        for i in range(5):
+            shadow.score("x" * i)
+        assert obs.metrics.counter("monitoring.shadow_errors").value == 5
+        assert obs.metrics.counter("monitoring.shadow_requests").value == 5
+
+    def test_recovery_resumes_recording(self):
+        shadow = ShadowDeployment(_ScoreStub(0.4), _ExplodingStub(fail_times=3))
+        for i in range(6):
+            shadow.score("z" * i)
+        assert shadow.n_shadow_errors == 3
+        assert shadow.n_window == 3
+        assert shadow.n_requests == 6
+
+    def test_primary_exception_still_propagates(self):
+        """Only the shadow is best-effort; a broken primary is a real outage."""
+        shadow = ShadowDeployment(_ExplodingStub(), _ScoreStub(0.0))
+        with pytest.raises(RuntimeError):
+            shadow.score("abc")
+
+
+# ----------------------------------------------------------------------
+# Regression: bounded comparison window + nan correlation
+# ----------------------------------------------------------------------
+
+
+class TestShadowWindow:
+    def test_records_bounded_by_window(self):
+        shadow = ShadowDeployment(_ScoreStub(0.0), _ScoreStub(0.0), window=5)
+        for i in range(12):
+            shadow.score("w" * i)
+        assert shadow.n_window == 5
+        assert len(shadow.records()) == 5
+        assert shadow.n_requests == 12  # lifetime counter unaffected
+
+    def test_window_stats_exact_over_window(self):
+        """Old disagreements age out: stats cover the window, exactly."""
+        primary = _ScoreStub(0.0)
+        disagreeing = _ScoreStub(0.6)
+        agreeing = _ScoreStub(0.0)
+        shadow = ShadowDeployment(primary, disagreeing, window=4)
+        for i in range(1, 5):
+            shadow.score("a" * i)  # all four disagree
+        assert shadow.agreement_rate() == 0.0
+        shadow.shadow = agreeing
+        for i in range(1, 5):
+            shadow.score("a" * i)  # four agreements push the others out
+        assert shadow.agreement_rate() == 1.0
+        assert shadow.disagreements() == []
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ServingError):
+            ShadowDeployment(_ScoreStub(0.0), _ScoreStub(0.0), window=0)
+
+    def test_zero_variance_correlation_is_nan(self):
+        """0.0 used to read as "uncorrelated" to promotion gates; undefined
+        correlation must be explicit.  Includes the length-20 constant
+        stream whose std() is ~1e-17 rather than exactly zero."""
+
+        class _Const:
+            def score(self, prompt, positive, negative):
+                return 0.4
+
+        for n in (2, 5, 20):
+            shadow = ShadowDeployment(_Const(), _Const(), window=64)
+            for i in range(n):
+                shadow.score("c" * (i + 1))
+            assert np.isnan(shadow.score_correlation())
+
+    def test_one_sided_zero_variance_is_nan(self):
+        class _Const:
+            def score(self, prompt, positive, negative):
+                return 0.4
+
+        shadow = ShadowDeployment(_ScoreStub(0.0), _Const(), window=64)
+        for i in range(8):
+            shadow.score("v" * i)
+        assert np.isnan(shadow.score_correlation())
